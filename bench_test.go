@@ -1,0 +1,321 @@
+package repro_test
+
+// Benchmark harness: one benchmark per table/figure of the paper, plus
+// microbenchmarks for the substrates. See EXPERIMENTS.md for the recorded
+// paper-vs-measured comparison.
+//
+// Run everything:   go test -bench=. -benchmem
+// Paper-scale only: go test -bench=Full -benchmem   (tens of seconds)
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/gtsrb"
+	"repro/internal/nn"
+	"repro/internal/reliable"
+	"repro/internal/shape"
+	"repro/internal/tensor"
+)
+
+// table1Workload builds the convolution operands for the Table 1 benches.
+func table1Workload(b *testing.B, full bool) (*tensor.Tensor, *tensor.Tensor, reliable.ConvSpec) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	var in, filters *tensor.Tensor
+	if full {
+		in = tensor.MustNew(3, 227, 227)
+		filters = tensor.MustNew(96, 3, 11, 11)
+	} else {
+		in = tensor.MustNew(3, 64, 64)
+		filters = tensor.MustNew(16, 3, 11, 11)
+	}
+	in.FillUniform(rng, 0, 1)
+	filters.FillUniform(rng, -0.1, 0.1)
+	return in, filters, reliable.ConvSpec{Stride: 4}
+}
+
+func benchNative(b *testing.B, full bool) {
+	in, filters, spec := table1Workload(b, full)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reliable.NativeConv2D(in, filters, nil, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchReliable(b *testing.B, full bool, mk func() (reliable.Ops, error)) {
+	in, filters, spec := table1Workload(b, full)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ops, err := mk()
+		if err != nil {
+			b.Fatal(err)
+		}
+		engine, err := reliable.NewEngine(ops, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := reliable.Conv2D(engine, in, filters, nil, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Table 1 — scaled workload (16 × 11×11×3 over 64×64×3).
+
+func BenchmarkTable1_Native_Scaled(b *testing.B) { benchNative(b, false) }
+
+func BenchmarkTable1_Alg1Multiplication_Scaled(b *testing.B) {
+	benchReliable(b, false, func() (reliable.Ops, error) { return reliable.NewPlain(fault.Soft{}) })
+}
+
+func BenchmarkTable1_Alg2RedundantMultiplication_Scaled(b *testing.B) {
+	benchReliable(b, false, func() (reliable.Ops, error) { return reliable.NewTemporalDMR(fault.Soft{}) })
+}
+
+// Table 1 — the paper's exact first AlexNet convolution layer
+// (96 × 11×11×3 over 227×227×3, stride 4 — 105,415,200 MACs).
+
+func BenchmarkTable1_Native_Full(b *testing.B) { benchNative(b, true) }
+
+func BenchmarkTable1_Alg1Multiplication_Full(b *testing.B) {
+	benchReliable(b, true, func() (reliable.Ops, error) { return reliable.NewPlain(fault.Soft{}) })
+}
+
+func BenchmarkTable1_Alg2RedundantMultiplication_Full(b *testing.B) {
+	benchReliable(b, true, func() (reliable.Ops, error) { return reliable.NewTemporalDMR(fault.Soft{}) })
+}
+
+// Figure 3 — the radial-series + SAX pipeline on an angled stop sign
+// (also the paper's "naive SAX completes in 1.942 s" reference point).
+
+func BenchmarkFigure3_RadialSAX(b *testing.B) {
+	img, err := gtsrb.AngledStopSign(96, rand.New(rand.NewSource(2)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := shape.NewQualifier(shape.DefaultQualifierConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := q.QualifyImage(img)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Class != shape.ClassOctagon {
+			b.Fatalf("qualifier lost the octagon: %v", res.Class)
+		}
+	}
+}
+
+// Figure 4 — the filter-replacement sweep (training + N evaluations), at
+// test scale.
+
+func BenchmarkFigure4_FilterSweep(b *testing.B) {
+	cfg := experiments.Figure4Config{
+		Micro: nn.MicroConfig{
+			InputSize: 16, Conv1Filters: 6, Conv1Kernel: 3,
+			Conv2Filters: 8, Hidden: 16, Classes: 6, UseLRN: false,
+		},
+		PerClass: 12, Epochs: 4, LR: 0.03, Seed: 1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation A — redundancy-mode coverage campaign.
+
+func BenchmarkAblation_RedundancyCoverage(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunRedundancyCoverage(experiments.CoverageConfig{
+			Trials: 5, TransientRate: 5e-4, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation B — rollback-distance comparison.
+
+func BenchmarkAblation_RollbackDistance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunRollbackAblation(experiments.RollbackConfig{
+			Trials: 5, Rates: []float64{1e-4}, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Substrate microbenchmarks.
+
+func BenchmarkSoftFloatMul(b *testing.B) {
+	x, y := float32(1.7), float32(-2.3)
+	var s float32
+	for i := 0; i < b.N; i++ {
+		s = fault.MulSoft(x, s+y)
+	}
+	_ = s
+}
+
+func BenchmarkSoftFloatAdd(b *testing.B) {
+	x := float32(1.7)
+	var s float32
+	for i := 0; i < b.N; i++ {
+		s = fault.AddSoft(s, x)
+	}
+	_ = s
+}
+
+func BenchmarkLeakyBucket(b *testing.B) {
+	bucket := reliable.NewDefaultBucket()
+	for i := 0; i < b.N; i++ {
+		if i%1000 == 0 {
+			bucket.Fail()
+		} else {
+			bucket.OK()
+		}
+	}
+}
+
+func benchOps(b *testing.B, mk func() (reliable.Ops, error)) {
+	ops, err := mk()
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := reliable.NewEngine(ops, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var acc float32
+	for i := 0; i < b.N; i++ {
+		v, err := engine.MAC(acc, 1.0001, 0.9999)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = v * 1e-9
+	}
+	_ = acc
+}
+
+func BenchmarkReliableMAC_Plain(b *testing.B) {
+	benchOps(b, func() (reliable.Ops, error) { return reliable.NewPlain(fault.Ideal{}) })
+}
+
+func BenchmarkReliableMAC_TemporalDMR(b *testing.B) {
+	benchOps(b, func() (reliable.Ops, error) { return reliable.NewTemporalDMR(fault.Ideal{}) })
+}
+
+func BenchmarkReliableMAC_TMR(b *testing.B) {
+	benchOps(b, func() (reliable.Ops, error) {
+		return reliable.NewTMR(fault.Ideal{}, fault.Ideal{}, fault.Ideal{})
+	})
+}
+
+// Hybrid end-to-end inference.
+
+func benchHybrid(b *testing.B, wiring core.Wiring) {
+	rng := rand.New(rand.NewSource(3))
+	net, err := nn.NewMicroAlexNet(nn.MicroConfig{
+		InputSize: 32, Conv1Filters: 8, Conv1Kernel: 5,
+		Conv2Filters: 8, Hidden: 16, Classes: 6, UseLRN: false,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	conv1, err := nn.FirstConv(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pair, err := core.InstallSobelPair(conv1, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{
+		Wiring: wiring, Mode: core.ModeTemporalDMR, Pair: pair,
+		SafetyClasses: map[int]shape.Class{gtsrb.StopClass: shape.ClassOctagon},
+	}
+	imgSize := 32
+	if wiring == core.WiringParallel {
+		cfg.DownsampleFactor = 3
+		imgSize = 96
+	}
+	h, err := core.NewHybridNetwork(cfg, net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := gtsrb.AngledStopSign(imgSize, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Classify(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHybridClassify_Parallel(b *testing.B)   { benchHybrid(b, core.WiringParallel) }
+func BenchmarkHybridClassify_Bifurcated(b *testing.B) { benchHybrid(b, core.WiringBifurcated) }
+
+// Reliable execution under injected faults (includes retry work).
+
+func BenchmarkReliableConvUnderFaults(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	in := tensor.MustNew(3, 16, 16)
+	in.FillUniform(rng, 0, 1)
+	filters := tensor.MustNew(4, 3, 3, 3)
+	filters.FillUniform(rng, -0.5, 0.5)
+	spec := reliable.ConvSpec{Stride: 1}
+	seed := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seed++
+		alu, err := fault.NewTransient(1e-4, fault.BitFlip{Bit: -1}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops, err := reliable.NewTemporalDMR(alu)
+		if err != nil {
+			b.Fatal(err)
+		}
+		engine, err := reliable.NewEngine(ops, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := reliable.Conv2D(engine, in, filters, nil, spec); err != nil &&
+			!errors.Is(err, reliable.ErrBucketTripped) {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Analytic guarantee computation.
+
+func BenchmarkGuarantee(b *testing.B) {
+	params := core.GuaranteeParams{
+		PerOpFaultProb: 1e-9, CollisionProb: 1.0 / 32,
+		Mode: core.ModeTemporalDMR, BucketFactor: 2, BucketCeiling: 3,
+		OpsPerInference: 210_830_400,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ComputeGuarantee(params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

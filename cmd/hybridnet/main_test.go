@@ -1,0 +1,68 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestTrainQualifyEvalCampaignFlow(t *testing.T) {
+	model := filepath.Join(t.TempDir(), "model.json")
+
+	if err := run([]string{"train", "-out", model, "-perclass", "6", "-epochs", "3", "-filters", "8"}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	for _, sign := range []string{"stop", "parking"} {
+		if err := run([]string{"qualify", "-model", model, "-sign", sign}); err != nil {
+			t.Fatalf("qualify %s: %v", sign, err)
+		}
+	}
+	if err := run([]string{"eval", "-model", model, "-perclass", "3"}); err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if err := run([]string{"campaign", "-model", model, "-trials", "3", "-rate", "1e-5"}); err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args should fail")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand should fail")
+	}
+	if err := run([]string{"qualify", "-model", "/nonexistent/model.json"}); err == nil {
+		t.Error("missing model should fail")
+	}
+	if err := run([]string{"eval", "-model", "/nonexistent/model.json"}); err == nil {
+		t.Error("missing model should fail")
+	}
+	if err := run([]string{"campaign", "-model", "x", "-mode", "bogus"}); err == nil {
+		t.Error("unknown mode should fail")
+	}
+	if err := run([]string{"train", "-badflag"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+
+	model := filepath.Join(t.TempDir(), "m.json")
+	if err := run([]string{"train", "-out", model, "-perclass", "2", "-epochs", "1", "-filters", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"qualify", "-model", model, "-sign", "nosuchsign"}); err == nil {
+		t.Error("unknown sign should fail")
+	}
+}
+
+func TestRenderSubcommand(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "signs")
+	if err := run([]string{"render", "-out", dir, "-size", "32", "-perclass", "1"}); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.png"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 6 {
+		t.Errorf("wrote %d PNGs, want 6", len(matches))
+	}
+}

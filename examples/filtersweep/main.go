@@ -1,0 +1,46 @@
+// Filtersweep reproduces Figure 4 interactively: it trains the micro
+// AlexNet, replaces each first-layer filter in turn with the paper's
+// Sobel-x/Sobel-y/Sobel-x filter, and prints the stop-class confidence and
+// accuracy per replacement as a bar chart, with the baseline marked — the
+// textual rendition of the paper's plot with its red dotted line.
+//
+// Run: go run ./examples/filtersweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("training the micro AlexNet and sweeping first-layer filter replacements …")
+	res, err := experiments.RunFigure4(experiments.Figure4Config{Seed: 3})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nbaseline: accuracy %.3f, stop confidence %.3f\n\n", res.BaselineAccuracy, res.BaselineStopConfidence)
+	fmt.Println("filter   stop-confidence                                   accuracy")
+	for _, row := range res.Rows {
+		bar := strings.Repeat("█", int(row.StopConfidence*40))
+		marker := " "
+		if row.Accuracy < res.BaselineAccuracy-0.05 {
+			marker = "↓" // replacement hurt this filter's contribution
+		}
+		fmt.Printf("  %2d     %-42s %.3f %s\n", row.Index, bar, row.Accuracy, marker)
+	}
+	lo, hi := res.Spread()
+	fmt.Printf("\naccuracy spread across replacements: %.3f – %.3f (baseline %.3f)\n", lo, hi, res.BaselineAccuracy)
+	fmt.Println("\nthe paper's observation: \"the accuracy varies substantially depending on")
+	fmt.Println("which filter has been replaced\" — some filters are redundant with the Sobel")
+	fmt.Println("edge content, others carry colour/texture information the replacement destroys.")
+	return nil
+}

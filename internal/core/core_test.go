@@ -1,0 +1,737 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fault"
+	"repro/internal/gtsrb"
+	"repro/internal/nn"
+	"repro/internal/shape"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+func TestModeAccessors(t *testing.T) {
+	cases := []struct {
+		mode RedundancyMode
+		pes  int
+		exec int
+	}{
+		{ModePlain, 1, 1},
+		{ModeTemporalDMR, 1, 2},
+		{ModeSpatialDMR, 2, 2},
+		{ModeTMR, 3, 3},
+	}
+	for _, c := range cases {
+		pes, err := c.mode.PEs()
+		if err != nil || pes != c.pes {
+			t.Errorf("%v PEs = %d, %v; want %d", c.mode, pes, err, c.pes)
+		}
+		ex, err := c.mode.ExecutionsPerOp()
+		if err != nil || ex != c.exec {
+			t.Errorf("%v execs = %d, %v; want %d", c.mode, ex, err, c.exec)
+		}
+		if c.mode.String() == "" {
+			t.Error("empty mode string")
+		}
+		ops, err := c.mode.NewOps(nil)
+		if err != nil || ops == nil {
+			t.Errorf("%v NewOps: %v", c.mode, err)
+		}
+		v, ok := ops.Mul(3, 4)
+		if v != 12 || !ok {
+			t.Errorf("%v ideal Mul = %v,%v", c.mode, v, ok)
+		}
+	}
+	bad := RedundancyMode(0)
+	if _, err := bad.PEs(); err == nil {
+		t.Error("unknown mode PEs should fail")
+	}
+	if _, err := bad.ExecutionsPerOp(); err == nil {
+		t.Error("unknown mode execs should fail")
+	}
+	if _, err := bad.NewOps(nil); err == nil {
+		t.Error("unknown mode NewOps should fail")
+	}
+	if bad.String() == "" || Wiring(9).String() == "" || Decision(9).String() == "" {
+		t.Error("fallback strings empty")
+	}
+}
+
+func TestPaperSobelFilter(t *testing.T) {
+	f, err := PaperSobelFilter(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Dim(0) != 3 || f.Dim(1) != 11 || f.Dim(2) != 11 {
+		t.Fatalf("shape %v", f.Shape())
+	}
+	// Channel 0 and 2 are Sobel-x (identical); channel 1 is Sobel-y.
+	c0, _ := f.Channel(0)
+	c1, _ := f.Channel(1)
+	c2, _ := f.Channel(2)
+	if !c0.Equal(c2) {
+		t.Error("channels 0 and 2 should both be Sobel-x")
+	}
+	if c0.Equal(c1) {
+		t.Error("channel 1 should be Sobel-y, not Sobel-x")
+	}
+	if _, err := PaperSobelFilter(4); err == nil {
+		t.Error("even kernel should fail")
+	}
+}
+
+func TestMakeSobelFilterValidation(t *testing.T) {
+	if _, err := MakeSobelFilter(); err == nil {
+		t.Error("no kernels should fail")
+	}
+	a := tensor.MustNew(3, 3)
+	b := tensor.MustNew(5, 5)
+	if _, err := MakeSobelFilter(a, b); err == nil {
+		t.Error("mismatched kernel sizes should fail")
+	}
+	if _, err := MakeSobelFilter(tensor.MustNew(3)); err == nil {
+		t.Error("rank-1 kernel should fail")
+	}
+}
+
+func TestUniformSobel(t *testing.T) {
+	fx, err := UniformSobelX(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each channel is Sobel-x / 3.
+	c0, _ := fx.Channel(0)
+	c1, _ := fx.Channel(1)
+	if !c0.Equal(c1) {
+		t.Error("uniform channels should be identical")
+	}
+	sx3, _ := shape.SobelX(3)
+	scaled := sx3.Clone()
+	scaled.Scale(1.0 / 3)
+	if !c0.AllClose(scaled, 1e-6) {
+		t.Error("channel should be Sobel-x / channels")
+	}
+	if _, err := UniformSobelX(3, 0); err == nil {
+		t.Error("zero channels should fail")
+	}
+	fy, err := UniformSobelY(3, 2)
+	if err != nil || fy.Dim(0) != 2 {
+		t.Errorf("UniformSobelY: %v %v", fy, err)
+	}
+}
+
+func TestReplaceRestoreFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	conv, err := nn.NewConv2D("c", 3, 4, 5, 1, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv.Bias().Data()[1] = 7
+	orig, _ := conv.Weight().Filter(1)
+	origCopy := orig.Clone()
+
+	f, err := PaperSobelFilter(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, prevBias, err := ReplaceFilter(conv, 1, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prev.Equal(origCopy) || prevBias != 7 {
+		t.Error("ReplaceFilter should return the previous state")
+	}
+	now, _ := conv.Weight().Filter(1)
+	if !now.Equal(f) {
+		t.Error("filter not replaced")
+	}
+	if conv.Bias().Data()[1] != 0 {
+		t.Error("bias should be zeroed")
+	}
+	if err := RestoreFilter(conv, 1, prev, prevBias); err != nil {
+		t.Fatal(err)
+	}
+	restored, _ := conv.Weight().Filter(1)
+	if !restored.Equal(origCopy) || conv.Bias().Data()[1] != 7 {
+		t.Error("RestoreFilter did not restore")
+	}
+
+	if _, _, err := ReplaceFilter(nil, 0, f); err == nil {
+		t.Error("nil conv should fail")
+	}
+	if _, _, err := ReplaceFilter(conv, 9, f); err == nil {
+		t.Error("out-of-range filter should fail")
+	}
+	wrong := tensor.MustNew(3, 3, 3)
+	if _, _, err := ReplaceFilter(conv, 0, wrong); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+	if err := RestoreFilter(nil, 0, prev, 0); err == nil {
+		t.Error("nil conv restore should fail")
+	}
+	if err := RestoreFilter(conv, 9, prev, 0); err == nil {
+		t.Error("out-of-range restore should fail")
+	}
+}
+
+func TestInstallSobelPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	conv, _ := nn.NewConv2D("c", 3, 4, 5, 1, 0, rng)
+	pair, err := InstallSobelPair(conv, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.XIdx != 0 || pair.YIdx != 1 {
+		t.Errorf("pair = %+v", pair)
+	}
+	fx, _ := conv.Weight().Filter(0)
+	want, _ := UniformSobelX(5, 3)
+	if !fx.Equal(want) {
+		t.Error("filter 0 should be uniform Sobel-x")
+	}
+	if _, err := InstallSobelPair(conv, 2, 2); err == nil {
+		t.Error("identical indices should fail")
+	}
+	if _, err := InstallSobelPair(nil, 0, 1); err == nil {
+		t.Error("nil conv should fail")
+	}
+}
+
+func TestEdgeMagnitudeFromChannels(t *testing.T) {
+	f := tensor.MustNew(2, 2, 2)
+	f.Set3(3, 0, 0, 0)
+	f.Set3(4, 1, 0, 0)
+	mag, err := EdgeMagnitudeFromChannels(f, SobelPair{XIdx: 0, YIdx: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mag.At(0, 0) != 5 {
+		t.Errorf("magnitude = %v, want 5", mag.At(0, 0))
+	}
+	if _, err := EdgeMagnitudeFromChannels(tensor.MustNew(4), SobelPair{}); err == nil {
+		t.Error("rank-1 features should fail")
+	}
+	if _, err := EdgeMagnitudeFromChannels(f, SobelPair{XIdx: 0, YIdx: 5}); err == nil {
+		t.Error("out-of-range channel should fail")
+	}
+}
+
+func TestBoxDownsample(t *testing.T) {
+	img := tensor.MustFromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 4, 4)
+	out, err := BoxDownsample(img, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{3.5, 5.5, 11.5, 13.5}
+	for i, w := range want {
+		if out.Data()[i] != w {
+			t.Errorf("down[%d] = %v, want %v", i, out.Data()[i], w)
+		}
+	}
+	id, err := BoxDownsample(img, 1)
+	if err != nil || !id.Equal(img) {
+		t.Error("factor 1 should be a copy")
+	}
+	id.Set3(99, 0, 0, 0)
+	if img.At3(0, 0, 0) == 99 {
+		t.Error("factor 1 must copy, not alias")
+	}
+	if _, err := BoxDownsample(img, 3); err == nil {
+		t.Error("non-divisible factor should fail")
+	}
+	if _, err := BoxDownsample(img, 0); err == nil {
+		t.Error("factor 0 should fail")
+	}
+	if _, err := BoxDownsample(tensor.MustNew(4, 4), 2); err == nil {
+		t.Error("rank-2 should fail")
+	}
+}
+
+var (
+	trainedNetOnce sync.Once
+	trainedNet     *nn.Sequential
+	trainedNetErr  error
+)
+
+// trainedMicroNet trains a small classifier once and shares it across the
+// hybrid tests (they only read it).
+func trainedMicroNet(t *testing.T) *nn.Sequential {
+	t.Helper()
+	trainedNetOnce.Do(func() { trainedNet, trainedNetErr = buildTrainedMicroNet() })
+	if trainedNetErr != nil {
+		t.Fatal(trainedNetErr)
+	}
+	return trainedNet
+}
+
+func buildTrainedMicroNet() (*nn.Sequential, error) {
+	rng := rand.New(rand.NewSource(33))
+	net, err := nn.NewMicroAlexNet(nn.MicroConfig{
+		InputSize: 32, Conv1Filters: 8, Conv1Kernel: 5,
+		Conv2Filters: 12, Hidden: 32, Classes: 6, UseLRN: false,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := gtsrb.Generate(gtsrb.Config{Size: 32, PerClass: 15, Clutter: 1}, rand.New(rand.NewSource(34)))
+	if err != nil {
+		return nil, err
+	}
+	opt, err := train.NewSGD(0.03, 0.9, 1e-4)
+	if err != nil {
+		return nil, err
+	}
+	tr := &train.Trainer{Net: net, Opt: opt, BatchSize: 8, Epochs: 8, Rng: rng}
+	if _, err := tr.Fit(ds); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+func defaultSafety() map[int]shape.Class {
+	return map[int]shape.Class{gtsrb.StopClass: shape.ClassOctagon}
+}
+
+func TestHybridConfigValidation(t *testing.T) {
+	net := trainedMicroNet(t)
+	good := Config{
+		Wiring: WiringParallel, Mode: ModeTemporalDMR,
+		SafetyClasses: defaultSafety(), DownsampleFactor: 3,
+	}
+	if _, err := NewHybridNetwork(good, nil); err == nil {
+		t.Error("nil net should fail")
+	}
+	bad := good
+	bad.Wiring = Wiring(0)
+	if _, err := NewHybridNetwork(bad, net); err == nil {
+		t.Error("unknown wiring should fail")
+	}
+	bad = good
+	bad.Mode = RedundancyMode(0)
+	if _, err := NewHybridNetwork(bad, net); err == nil {
+		t.Error("unknown mode should fail")
+	}
+	bad = good
+	bad.SafetyClasses = nil
+	if _, err := NewHybridNetwork(bad, net); err == nil {
+		t.Error("no safety classes should fail")
+	}
+	bad = good
+	bad.Wiring = WiringBifurcated
+	bad.Pair = SobelPair{XIdx: 0, YIdx: 0}
+	if _, err := NewHybridNetwork(bad, net); err == nil {
+		t.Error("degenerate sobel pair should fail")
+	}
+	bad.Pair = SobelPair{XIdx: 0, YIdx: 99}
+	if _, err := NewHybridNetwork(bad, net); err == nil {
+		t.Error("out-of-range sobel pair should fail")
+	}
+	bad = good
+	qc := shape.DefaultQualifierConfig()
+	qc.SmoothWindow = 2
+	bad.Qualifier = &qc
+	if _, err := NewHybridNetwork(bad, net); err == nil {
+		t.Error("invalid qualifier config should fail")
+	}
+}
+
+func TestHybridParallelStopSignQualified(t *testing.T) {
+	net := trainedMicroNet(t)
+	h, err := NewHybridNetwork(Config{
+		Wiring: WiringParallel, Mode: ModeTemporalDMR,
+		SafetyClasses: defaultSafety(), DownsampleFactor: 3,
+	}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Net() != net || h.Qualifier() == nil {
+		t.Error("accessors broken")
+	}
+
+	// A clean, well-centred stop sign at 96×96 (CNN sees 32×32).
+	rng := rand.New(rand.NewSource(35))
+	spec := gtsrb.StandardClasses()[gtsrb.StopClass]
+	img, err := gtsrb.Render(gtsrb.SignParams{
+		Shape: spec.Shape, Fill: spec.Fill, Size: 96,
+		CenterX: 48, CenterY: 48, Radius: 36, Rotation: 0.1,
+		Background: 0.1, NoiseSigma: 0.01, Brightness: 1,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Classify(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Qualifier.Class != shape.ClassOctagon {
+		t.Errorf("qualifier = %v (peaks=%d round=%.3f), want octagon",
+			res.Qualifier.Class, res.Qualifier.Peaks, res.Qualifier.Round)
+	}
+	if res.Class == gtsrb.StopClass {
+		if res.Decision != DecisionQualified {
+			t.Errorf("decision = %v, want qualified", res.Decision)
+		}
+	} else {
+		t.Logf("CNN misclassified stop as %d; decision = %v", res.Class, res.Decision)
+		if res.Decision == DecisionQualified {
+			t.Error("non-stop classification must not be stop-qualified")
+		}
+	}
+	if res.Stats.Ops == 0 {
+		t.Error("reliable stage executed no operations")
+	}
+	if res.Bucket.Tripped {
+		t.Error("bucket tripped on fault-free hardware")
+	}
+}
+
+func TestHybridParallelNonSafetyClassSkipsQualification(t *testing.T) {
+	net := trainedMicroNet(t)
+	h, err := NewHybridNetwork(Config{
+		Wiring: WiringParallel, Mode: ModePlain,
+		SafetyClasses: defaultSafety(), DownsampleFactor: 3,
+	}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A parking sign (blue square): whatever the CNN says, as long as it is
+	// not the stop class the decision must be not-safety-relevant.
+	rng := rand.New(rand.NewSource(36))
+	spec := gtsrb.StandardClasses()[3] // parking
+	img, err := gtsrb.Render(gtsrb.SignParams{
+		Shape: spec.Shape, Fill: spec.Fill, Size: 96,
+		CenterX: 48, CenterY: 48, Radius: 34,
+		Background: 0.1, NoiseSigma: 0.01, Brightness: 1,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Classify(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != gtsrb.StopClass && res.Decision != DecisionNotSafetyRelevant {
+		t.Errorf("decision = %v, want not-safety-relevant for class %d", res.Decision, res.Class)
+	}
+	if res.Class == gtsrb.StopClass && res.Decision != DecisionRejected {
+		t.Errorf("square misclassified as stop must be rejected, got %v", res.Decision)
+	}
+}
+
+func TestHybridRejectsMismatchedShape(t *testing.T) {
+	net := trainedMicroNet(t)
+	// Demand a triangle for the stop class: a real octagonal stop sign must
+	// now be rejected whenever the CNN claims "stop".
+	h, err := NewHybridNetwork(Config{
+		Wiring: WiringParallel, Mode: ModePlain,
+		SafetyClasses:    map[int]shape.Class{gtsrb.StopClass: shape.ClassTriangle},
+		DownsampleFactor: 3,
+	}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(37))
+	img, err := gtsrb.AngledStopSign(96, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Classify(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class == gtsrb.StopClass && res.Decision != DecisionRejected {
+		t.Errorf("decision = %v, want rejected (qualifier saw %v)", res.Decision, res.Qualifier.Class)
+	}
+}
+
+func TestHybridExecutionFailure(t *testing.T) {
+	net := trainedMicroNet(t)
+	seed := int64(0)
+	h, err := NewHybridNetwork(Config{
+		Wiring: WiringParallel, Mode: ModeTemporalDMR,
+		SafetyClasses: defaultSafety(), DownsampleFactor: 3,
+		ALUs: func() fault.ALU {
+			seed++
+			rng := rand.New(rand.NewSource(seed))
+			alu, err := fault.NewTransient(1, fault.WordRandom{}, rng)
+			if err != nil {
+				panic(err)
+			}
+			return alu
+		},
+	}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(38))
+	img, err := gtsrb.AngledStopSign(96, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Classify(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision != DecisionExecutionFailed {
+		t.Errorf("decision = %v, want execution-failed under saturating faults", res.Decision)
+	}
+	if res.ExecErr == nil {
+		t.Error("ExecErr should carry the bucket trip")
+	}
+	if !res.Bucket.Tripped {
+		t.Error("bucket snapshot should show the trip")
+	}
+}
+
+func TestHybridSingleTransientFaultIsCorrected(t *testing.T) {
+	net := trainedMicroNet(t)
+	mk := func(f ALUFactory) *HybridNetwork {
+		h, err := NewHybridNetwork(Config{
+			Wiring: WiringParallel, Mode: ModeTemporalDMR,
+			SafetyClasses: defaultSafety(), DownsampleFactor: 3, ALUs: f,
+		}, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	rng := rand.New(rand.NewSource(39))
+	img, err := gtsrb.AngledStopSign(96, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := mk(nil).Classify(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultRng := rand.New(rand.NewSource(40))
+	faulty := mk(func() fault.ALU {
+		alu, err := fault.NewOnceAfter(1000, fault.BitFlip{Bit: 28}, faultRng)
+		if err != nil {
+			panic(err)
+		}
+		return alu
+	})
+	res, err := faulty.Classify(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision != clean.Decision || res.Qualifier.Class != clean.Qualifier.Class {
+		t.Errorf("single corrected fault changed the verdict: %v/%v vs %v/%v",
+			res.Decision, res.Qualifier.Class, clean.Decision, clean.Qualifier.Class)
+	}
+	if res.Stats.Retries != 1 {
+		t.Errorf("retries = %d, want exactly 1", res.Stats.Retries)
+	}
+}
+
+func TestHybridBifurcated(t *testing.T) {
+	// Untrained net at 64×64: the CNN classification is meaningless, but
+	// the bifurcated data path must deliver the conv1 Sobel channels to the
+	// qualifier, which must still recognise the octagon.
+	rng := rand.New(rand.NewSource(41))
+	net, err := nn.NewMicroAlexNet(nn.MicroConfig{
+		InputSize: 64, Conv1Filters: 8, Conv1Kernel: 5,
+		Conv2Filters: 8, Hidden: 16, Classes: 6, UseLRN: false,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv1, err := nn.FirstConv(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := InstallSobelPair(conv1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHybridNetwork(Config{
+		Wiring: WiringBifurcated, Mode: ModeTemporalDMR,
+		SafetyClasses: defaultSafety(), Pair: pair,
+	}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := gtsrb.AngledStopSign(64, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Classify(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Qualifier.Class != shape.ClassOctagon {
+		t.Errorf("bifurcated qualifier = %v (peaks=%d round=%.3f dist=%.2f), want octagon",
+			res.Qualifier.Class, res.Qualifier.Peaks, res.Qualifier.Round, res.Qualifier.WordDist)
+	}
+	if res.Stats.Ops == 0 {
+		t.Error("no reliable operations executed")
+	}
+	// Consistency of the decision logic.
+	if res.Class == gtsrb.StopClass && res.Decision != DecisionQualified {
+		t.Errorf("stop + octagon should be qualified, got %v", res.Decision)
+	}
+	if res.Class != gtsrb.StopClass && res.Decision != DecisionNotSafetyRelevant {
+		t.Errorf("non-stop class should be not-safety-relevant, got %v", res.Decision)
+	}
+}
+
+func TestGuaranteeValidation(t *testing.T) {
+	good := GuaranteeParams{
+		PerOpFaultProb: 1e-6, CollisionProb: 1.0 / 32,
+		Mode: ModeTemporalDMR, BucketFactor: 2, BucketCeiling: 3,
+		OpsPerInference: 1000,
+	}
+	if _, err := ComputeGuarantee(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.PerOpFaultProb = -1
+	if _, err := ComputeGuarantee(bad); err == nil {
+		t.Error("negative p should fail")
+	}
+	bad = good
+	bad.CollisionProb = 2
+	if _, err := ComputeGuarantee(bad); err == nil {
+		t.Error("q > 1 should fail")
+	}
+	bad = good
+	bad.Mode = RedundancyMode(0)
+	if _, err := ComputeGuarantee(bad); err == nil {
+		t.Error("unknown mode should fail")
+	}
+	bad = good
+	bad.BucketFactor = 0
+	if _, err := ComputeGuarantee(bad); err == nil {
+		t.Error("bucket factor 0 should fail")
+	}
+	bad = good
+	bad.OpsPerInference = 0
+	if _, err := ComputeGuarantee(bad); err == nil {
+		t.Error("zero ops should fail")
+	}
+}
+
+func TestGuaranteePlainVsDMR(t *testing.T) {
+	// p = 1e-9 keeps the plain-mode per-inference probability away from
+	// saturation so the DMR-vs-plain ratio is meaningful.
+	base := GuaranteeParams{
+		PerOpFaultProb: 1e-9, CollisionProb: 1.0 / 32,
+		BucketFactor: 2, BucketCeiling: 3, OpsPerInference: 210_000_000,
+	}
+	plain := base
+	plain.Mode = ModePlain
+	gp, err := ComputeGuarantee(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.PSDCAttempt != base.PerOpFaultProb {
+		t.Errorf("plain SDC per attempt = %v, want p", gp.PSDCAttempt)
+	}
+	if gp.PDetectedAttempt != 0 {
+		t.Error("plain mode detects nothing")
+	}
+
+	dmr := base
+	dmr.Mode = ModeTemporalDMR
+	gd, err := ComputeGuarantee(dmr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DMR per-attempt SDC = p²q.
+	want := 1e-9 * 1e-9 / 32
+	if math.Abs(gd.PSDCAttempt-want)/want > 1e-9 {
+		t.Errorf("DMR SDC per attempt = %v, want %v", gd.PSDCAttempt, want)
+	}
+	// The guarantee: DMR cuts the silent-corruption probability by orders
+	// of magnitude relative to plain execution.
+	if gd.PUndetectedPerInference >= gp.PUndetectedPerInference/1000 {
+		t.Errorf("DMR per-inference SDC %v not ≪ plain %v",
+			gd.PUndetectedPerInference, gp.PUndetectedPerInference)
+	}
+	// Bucket 2/3 allows ceil(3/2)=2 consecutive failures.
+	if gd.MaxConsecutiveFailures != 2 {
+		t.Errorf("max consecutive failures = %d, want 2", gd.MaxConsecutiveFailures)
+	}
+	if gd.String() == "" {
+		t.Error("empty guarantee string")
+	}
+}
+
+func TestGuaranteeTMRMasksSingleFaults(t *testing.T) {
+	params := GuaranteeParams{
+		PerOpFaultProb: 1e-3, CollisionProb: 1.0 / 32,
+		Mode: ModeTMR, BucketFactor: 2, BucketCeiling: 3, OpsPerInference: 1000,
+	}
+	g, err := ComputeGuarantee(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TMR's correct probability includes the single-fault mask term:
+	// (1−p)³ + 3p(1−p)² ≈ 1 − 3p² for small p.
+	if g.PCorrectAttempt < 1-4e-6 {
+		t.Errorf("TMR correct per attempt = %v, want ≈ 1−3p²", g.PCorrectAttempt)
+	}
+	// TMR detects less than DMR (it masks instead).
+	dmrParams := params
+	dmrParams.Mode = ModeTemporalDMR
+	gd, _ := ComputeGuarantee(dmrParams)
+	if g.PDetectedAttempt >= gd.PDetectedAttempt {
+		t.Errorf("TMR detected %v should be below DMR %v (masking)", g.PDetectedAttempt, gd.PDetectedAttempt)
+	}
+}
+
+// Property: per-attempt outcome probabilities always sum to 1.
+func TestQuickGuaranteeProbabilitiesSum(t *testing.T) {
+	f := func(pRaw, qRaw uint16, modeRaw uint8) bool {
+		p := float64(pRaw) / 65535
+		q := float64(qRaw) / 65535
+		mode := []RedundancyMode{ModePlain, ModeTemporalDMR, ModeSpatialDMR, ModeTMR}[modeRaw%4]
+		g, err := ComputeGuarantee(GuaranteeParams{
+			PerOpFaultProb: p, CollisionProb: q, Mode: mode,
+			BucketFactor: 2, BucketCeiling: 3, OpsPerInference: 100,
+		})
+		if err != nil {
+			return false
+		}
+		sum := g.PCorrectAttempt + g.PSDCAttempt + g.PDetectedAttempt
+		if math.Abs(sum-1) > 1e-9 {
+			return false
+		}
+		return g.PSDCAttempt >= 0 && g.PDetectedAttempt >= -1e-12 &&
+			g.PUndetectedPerInference >= 0 && g.PUndetectedPerInference <= 1 &&
+			g.PAbortPerInference >= 0 && g.PAbortPerInference <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the guarantee is monotone in p — more faults, more risk.
+func TestGuaranteeMonotoneInFaultRate(t *testing.T) {
+	prev := -1.0
+	for _, p := range []float64{1e-8, 1e-6, 1e-4, 1e-2} {
+		g, err := ComputeGuarantee(GuaranteeParams{
+			PerOpFaultProb: p, CollisionProb: 1.0 / 32,
+			Mode: ModeTemporalDMR, BucketFactor: 2, BucketCeiling: 3,
+			OpsPerInference: 1_000_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.PUndetectedPerInference < prev {
+			t.Fatalf("SDC probability decreased as p grew at p=%v", p)
+		}
+		prev = g.PUndetectedPerInference
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// BoxDownsample reduces a CHW image by an integer factor with box (mean)
+// filtering. The hybrid pipeline qualifies shapes at full resolution — the
+// paper picks AlexNet precisely because "shape recognition requires an
+// appreciable image size with a clearly definable edge" — while the CNN may
+// classify a downsampled view.
+func BoxDownsample(img *tensor.Tensor, factor int) (*tensor.Tensor, error) {
+	if img.Rank() != 3 {
+		return nil, fmt.Errorf("core: downsample needs CHW image, got %v", img.Shape())
+	}
+	if factor < 1 {
+		return nil, fmt.Errorf("core: downsample factor %d must be >= 1", factor)
+	}
+	if factor == 1 {
+		return img.Clone(), nil
+	}
+	c, h, w := img.Dim(0), img.Dim(1), img.Dim(2)
+	if h%factor != 0 || w%factor != 0 {
+		return nil, fmt.Errorf("core: image %dx%d not divisible by factor %d", h, w, factor)
+	}
+	oh, ow := h/factor, w/factor
+	out := tensor.MustNew(c, oh, ow)
+	inv := 1 / float32(factor*factor)
+	for ch := 0; ch < c; ch++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var s float32
+				for dy := 0; dy < factor; dy++ {
+					for dx := 0; dx < factor; dx++ {
+						s += img.At3(ch, oy*factor+dy, ox*factor+dx)
+					}
+				}
+				out.Set3(s*inv, ch, oy, ox)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// GuaranteeParams characterises the fault environment and the protection
+// configuration for the analytic reliability guarantee.
+type GuaranteeParams struct {
+	// PerOpFaultProb (p) is the probability that a single execution of one
+	// arithmetic operation returns a corrupted result (the SEU rate per
+	// operation; independent across executions).
+	PerOpFaultProb float64
+	// CollisionProb (q) is the probability that two independently
+	// corrupted executions of the same operation return the SAME wrong
+	// value, in which case comparison cannot detect the pair. For a
+	// uniform single-bit flip q = 1/32; for whole-word randomisation
+	// q ≈ 2⁻³².
+	CollisionProb float64
+	// Mode is the redundancy mode of the DCNN operators.
+	Mode RedundancyMode
+	// BucketFactor and BucketCeiling are the leaky-bucket parameters.
+	BucketFactor, BucketCeiling int
+	// OpsPerInference (N) is the number of overloaded operations one DCNN
+	// inference executes (use reliable.MACCount × 2 for a convolution).
+	OpsPerInference uint64
+}
+
+// Validate checks the parameters.
+func (g GuaranteeParams) Validate() error {
+	if g.PerOpFaultProb < 0 || g.PerOpFaultProb > 1 {
+		return fmt.Errorf("core: per-op fault probability %v out of [0,1]", g.PerOpFaultProb)
+	}
+	if g.CollisionProb < 0 || g.CollisionProb > 1 {
+		return fmt.Errorf("core: collision probability %v out of [0,1]", g.CollisionProb)
+	}
+	if _, err := g.Mode.PEs(); err != nil {
+		return err
+	}
+	if g.BucketFactor < 1 || g.BucketCeiling < 1 {
+		return fmt.Errorf("core: bucket (factor=%d, ceiling=%d) must be >= 1",
+			g.BucketFactor, g.BucketCeiling)
+	}
+	if g.OpsPerInference < 1 {
+		return fmt.Errorf("core: ops per inference must be >= 1")
+	}
+	return nil
+}
+
+// Guarantee is the analytic reliability guarantee: exact per-attempt outcome
+// probabilities and first-order per-operation / per-inference bounds.
+type Guarantee struct {
+	Params GuaranteeParams
+
+	// Per single attempt of one operation:
+	PCorrectAttempt  float64 // returns the correct value, qualifier true
+	PSDCAttempt      float64 // returns a wrong value, qualifier true (undetected)
+	PDetectedAttempt float64 // qualifier false (triggers retry/rollback)
+
+	// Per operation, under the retry/bucket protocol (maxRetries =
+	// consecutive failures the bucket allows before tripping):
+	MaxConsecutiveFailures int
+	PUndetectedPerOp       float64 // SDC on any attempt before success/abort
+	PAbortPerOp            float64 // bucket trips (detected unrecoverable)
+	ExpectedAttemptsPerOp  float64
+
+	// Per inference of N operations:
+	PUndetectedPerInference float64 // ≥1 silent corruption
+	PAbortPerInference      float64 // ≥1 bucket trip (availability loss)
+	ExpectedExtraWork       float64 // expected re-executed attempts
+}
+
+// ComputeGuarantee derives the guarantee from the parameters.
+//
+// Attempt-level derivation (p = fault prob per execution, q = collision):
+//
+//	Plain:        correct (1−p);            SDC p;                 detected 0
+//	DMR (2 exec): correct (1−p)²;           SDC p²·q;              detected 2p(1−p) + p²(1−q)
+//	TMR (3 exec): correct (1−p)³+3p(1−p)²;  SDC 3p²(1−p)q + p²… ;  detected = remainder
+//
+// For TMR, a single corrupted execution is out-voted (counted correct); two
+// corruptions agreeing with each other (probability q) out-vote the correct
+// one (SDC); three-way disagreement or two disagreeing corruptions yield no
+// majority among wrong values only when the two corrupted executions differ
+// AND differ from the correct execution — the correct value then still wins
+// only if the third agrees, so two differing corruptions leave all three
+// distinct: detected. Three corruptions: majority only if at least two agree
+// (probability ≈ 3q−2q², wrong value): SDC; else detected.
+func ComputeGuarantee(params GuaranteeParams) (Guarantee, error) {
+	var g Guarantee
+	if err := params.Validate(); err != nil {
+		return g, err
+	}
+	g.Params = params
+	p, q := params.PerOpFaultProb, params.CollisionProb
+
+	switch params.Mode {
+	case ModePlain:
+		g.PCorrectAttempt = 1 - p
+		g.PSDCAttempt = p
+		g.PDetectedAttempt = 0
+	case ModeTemporalDMR, ModeSpatialDMR:
+		g.PCorrectAttempt = (1 - p) * (1 - p)
+		g.PSDCAttempt = p * p * q
+		g.PDetectedAttempt = 2*p*(1-p) + p*p*(1-q)
+	case ModeTMR:
+		pc := (1-p)*(1-p)*(1-p) + 3*p*(1-p)*(1-p) // 0 or 1 corruption
+		twoAgree := 3 * p * p * (1 - p) * q       // 2 corruptions, identical
+		// 3 corruptions with ≥2 identical: inclusion–exclusion over the
+		// three pairs with the q²-independence approximation, clamped —
+		// the approximation exceeds 1 for q near 0.75.
+		agree3 := 3*q - 2*q*q
+		if agree3 > 1 {
+			agree3 = 1
+		}
+		threeAgree := p * p * p * agree3
+		g.PCorrectAttempt = pc
+		g.PSDCAttempt = twoAgree + threeAgree
+		g.PDetectedAttempt = 1 - pc - g.PSDCAttempt
+	}
+
+	// The bucket trips after ceil(ceiling/factor) consecutive failures
+	// starting from an empty bucket.
+	g.MaxConsecutiveFailures = (params.BucketCeiling + params.BucketFactor - 1) / params.BucketFactor
+	k := g.MaxConsecutiveFailures
+
+	d := g.PDetectedAttempt
+	s := g.PSDCAttempt
+	// Per operation: attempts repeat while detected, up to k consecutive
+	// failures. SDC escapes on any attempt; abort after k detections.
+	// P[SDC per op] = Σ_{i=0}^{k-1} d^i · s ; P[abort] = d^k.
+	var sdc float64
+	di := 1.0
+	for i := 0; i < k; i++ {
+		sdc += di * s
+		di *= d
+	}
+	g.PUndetectedPerOp = sdc
+	g.PAbortPerOp = di // d^k
+	// Expected attempts: 1 + d + d² + … + d^{k-1} truncated geometric.
+	ea := 0.0
+	di = 1.0
+	for i := 0; i < k; i++ {
+		ea += di
+		di *= d
+	}
+	g.ExpectedAttemptsPerOp = ea
+
+	n := float64(params.OpsPerInference)
+	g.PUndetectedPerInference = -math.Expm1(n * math.Log1p(-clampProb(g.PUndetectedPerOp)))
+	g.PAbortPerInference = -math.Expm1(n * math.Log1p(-clampProb(g.PAbortPerOp)))
+	g.ExpectedExtraWork = n * (g.ExpectedAttemptsPerOp - 1)
+	return g, nil
+}
+
+func clampProb(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1-1e-15 {
+		return 1 - 1e-15
+	}
+	return x
+}
+
+// String renders the guarantee as a compact report.
+func (g Guarantee) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "reliability guarantee (%s, p=%.2e, q=%.2e, bucket %d/%d, N=%d)\n",
+		g.Params.Mode, g.Params.PerOpFaultProb, g.Params.CollisionProb,
+		g.Params.BucketFactor, g.Params.BucketCeiling, g.Params.OpsPerInference)
+	fmt.Fprintf(&b, "  per attempt:   correct %.6g  sdc %.3e  detected %.3e\n",
+		g.PCorrectAttempt, g.PSDCAttempt, g.PDetectedAttempt)
+	fmt.Fprintf(&b, "  per op:        sdc %.3e  abort %.3e  E[attempts] %.6g (max %d consecutive failures)\n",
+		g.PUndetectedPerOp, g.PAbortPerOp, g.ExpectedAttemptsPerOp, g.MaxConsecutiveFailures)
+	fmt.Fprintf(&b, "  per inference: P[silent corruption] %.3e  P[abort] %.3e  E[extra attempts] %.4g\n",
+		g.PUndetectedPerInference, g.PAbortPerInference, g.ExpectedExtraWork)
+	return b.String()
+}

@@ -1,0 +1,409 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/reliable"
+	"repro/internal/shape"
+	"repro/internal/tensor"
+)
+
+// Wiring selects between the paper's two hybrid architectures.
+type Wiring int
+
+const (
+	// WiringParallel is Figure 1: "maintain a shape-recognition functional
+	// block in parallel with a CNN for a general classification". The
+	// qualifier path is a reliably executed Sobel convolution on the
+	// full-resolution input, independent of the CNN's weights.
+	WiringParallel Wiring = iota + 1
+	// WiringBifurcated is Figure 2: the first convolution layer (with its
+	// Sobel-pre-initialised filters) IS the DCNN; it executes reliably,
+	// and its output bifurcates into the remaining CNN layers and the
+	// qualifier.
+	WiringBifurcated
+)
+
+// String implements fmt.Stringer.
+func (w Wiring) String() string {
+	switch w {
+	case WiringParallel:
+		return "parallel"
+	case WiringBifurcated:
+		return "bifurcated"
+	default:
+		return fmt.Sprintf("wiring(%d)", int(w))
+	}
+}
+
+// Decision is the verdict of the Reliable Result block.
+type Decision int
+
+const (
+	// DecisionQualified: a safety-critical classification whose qualifier
+	// confirmed the expected shape. Safe to act on.
+	DecisionQualified Decision = iota + 1
+	// DecisionRejected: a safety-critical classification the qualifier
+	// did NOT confirm — "any shape recognised by a CNN is not a Stop sign
+	// unless the shape has been confirmed as octagonal".
+	DecisionRejected
+	// DecisionNotSafetyRelevant: a class that needs no qualification
+	// ("e.g., a parking prohibition can be used without qualification").
+	DecisionNotSafetyRelevant
+	// DecisionExecutionFailed: the reliable execution itself reported a
+	// persistent error (bucket trip) — a detected unrecoverable error.
+	DecisionExecutionFailed
+)
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	switch d {
+	case DecisionQualified:
+		return "qualified"
+	case DecisionRejected:
+		return "rejected"
+	case DecisionNotSafetyRelevant:
+		return "not-safety-relevant"
+	case DecisionExecutionFailed:
+		return "execution-failed"
+	default:
+		return fmt.Sprintf("decision(%d)", int(d))
+	}
+}
+
+// Config assembles a hybrid network.
+type Config struct {
+	// Wiring selects Figure 1 (parallel) or Figure 2 (bifurcated).
+	Wiring Wiring
+	// Mode is the DCNN redundancy mode.
+	Mode RedundancyMode
+	// BucketFactor and BucketCeiling parameterise the leaky bucket
+	// (defaults: the paper's 2 and 3).
+	BucketFactor, BucketCeiling int
+	// SafetyClasses maps a class label to the shape the qualifier must
+	// confirm before the classification may be used.
+	SafetyClasses map[int]shape.Class
+	// Pair locates the Sobel filters in the first convolution layer
+	// (bifurcated wiring only).
+	Pair SobelPair
+	// DCNNDepth is how many leading layers execute reliably in the
+	// bifurcated wiring (default 1 — the paper's "one convolution layer";
+	// deeper prefixes answer the Section V question of harnessing
+	// subsequent layers, at the cost PrefixCost quantifies).
+	DCNNDepth int
+	// SobelKernel is the kernel size of the parallel wiring's standalone
+	// edge stage (default 3).
+	SobelKernel int
+	// DownsampleFactor reduces the full-resolution input before the CNN
+	// (parallel wiring only; default 1 = none).
+	DownsampleFactor int
+	// ALUs produces the processing elements for the reliable stage
+	// (default: ideal).
+	ALUs ALUFactory
+	// Qualifier overrides the shape qualifier configuration (default:
+	// shape.DefaultQualifierConfig).
+	Qualifier *shape.QualifierConfig
+}
+
+// Result is the hybrid network's full output for one input, retaining every
+// artefact a safety case would want to inspect.
+type Result struct {
+	// Class is the CNN's argmax class; Confidence its softmax probability.
+	Class      int
+	Confidence float32
+	Probs      []float32
+	// Decision is the Reliable Result verdict.
+	Decision Decision
+	// Qualifier is the shape qualifier's full result (zero when execution
+	// failed before qualification).
+	Qualifier shape.Result
+	// Stats counts the reliable-execution work; Bucket snapshots the error
+	// counter after the run.
+	Stats  reliable.Stats
+	Bucket reliable.Snapshot
+	// ExecErr is the reliable-execution error for DecisionExecutionFailed.
+	ExecErr error
+}
+
+// HybridNetwork is the assembled hybrid CNN.
+type HybridNetwork struct {
+	cfg       Config
+	net       *nn.Sequential
+	conv1     *nn.Conv2D
+	qualifier *shape.Qualifier
+	sobelBank *tensor.Tensor // parallel wiring edge stage (2, C, k, k)
+}
+
+// NewHybridNetwork wraps a trained CNN into a hybrid network.
+func NewHybridNetwork(cfg Config, net *nn.Sequential) (*HybridNetwork, error) {
+	if net == nil {
+		return nil, fmt.Errorf("core: hybrid needs a CNN")
+	}
+	if cfg.Wiring != WiringParallel && cfg.Wiring != WiringBifurcated {
+		return nil, fmt.Errorf("core: unknown wiring %d", int(cfg.Wiring))
+	}
+	if _, err := cfg.Mode.PEs(); err != nil {
+		return nil, err
+	}
+	if cfg.BucketFactor == 0 {
+		cfg.BucketFactor = reliable.DefaultFactor
+	}
+	if cfg.BucketCeiling == 0 {
+		cfg.BucketCeiling = reliable.DefaultCeiling
+	}
+	if cfg.SobelKernel == 0 {
+		cfg.SobelKernel = 3
+	}
+	if cfg.DownsampleFactor == 0 {
+		cfg.DownsampleFactor = 1
+	}
+	if cfg.DCNNDepth == 0 {
+		cfg.DCNNDepth = 1
+	}
+	if cfg.DCNNDepth < 1 || cfg.DCNNDepth > net.Len() {
+		return nil, fmt.Errorf("core: DCNN depth %d out of [1,%d]", cfg.DCNNDepth, net.Len())
+	}
+	if len(cfg.SafetyClasses) == 0 {
+		return nil, fmt.Errorf("core: hybrid needs at least one safety-critical class")
+	}
+	conv1, err := nn.FirstConv(net)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Wiring == WiringBifurcated {
+		if cfg.Pair.XIdx == cfg.Pair.YIdx {
+			return nil, fmt.Errorf("core: bifurcated wiring needs a Sobel pair with distinct indices")
+		}
+		if cfg.Pair.XIdx < 0 || cfg.Pair.XIdx >= conv1.Filters() ||
+			cfg.Pair.YIdx < 0 || cfg.Pair.YIdx >= conv1.Filters() {
+			return nil, fmt.Errorf("core: Sobel pair (%d,%d) out of range [0,%d)",
+				cfg.Pair.XIdx, cfg.Pair.YIdx, conv1.Filters())
+		}
+	}
+	qcfg := shape.DefaultQualifierConfig()
+	if cfg.Qualifier != nil {
+		qcfg = *cfg.Qualifier
+	}
+	q, err := shape.NewQualifier(qcfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: hybrid qualifier: %w", err)
+	}
+	h := &HybridNetwork{cfg: cfg, net: net, conv1: conv1, qualifier: q}
+	if cfg.Wiring == WiringParallel {
+		// The parallel edge stage convolves the single-channel saliency
+		// (colourfulness) image, so the bank has one input channel.
+		fx, err := shape.SobelX(cfg.SobelKernel)
+		if err != nil {
+			return nil, err
+		}
+		fy, err := shape.SobelY(cfg.SobelKernel)
+		if err != nil {
+			return nil, err
+		}
+		bank, err := tensor.New(2, 1, cfg.SobelKernel, cfg.SobelKernel)
+		if err != nil {
+			return nil, err
+		}
+		for i, f := range []*tensor.Tensor{fx, fy} {
+			view, err := bank.Filter(i)
+			if err != nil {
+				return nil, err
+			}
+			ch, err := view.Channel(0)
+			if err != nil {
+				return nil, err
+			}
+			if err := ch.CopyFrom(f); err != nil {
+				return nil, err
+			}
+		}
+		h.sobelBank = bank
+	}
+	return h, nil
+}
+
+// Net returns the wrapped CNN.
+func (h *HybridNetwork) Net() *nn.Sequential { return h.net }
+
+// Qualifier returns the shape qualifier.
+func (h *HybridNetwork) Qualifier() *shape.Qualifier { return h.qualifier }
+
+// Config returns the (normalised) configuration.
+func (h *HybridNetwork) Config() Config { return h.cfg }
+
+// newEngine builds a fresh reliable engine (ops + bucket) for one inference.
+func (h *HybridNetwork) newEngine() (*reliable.Engine, error) {
+	ops, err := h.cfg.Mode.NewOps(h.cfg.ALUs)
+	if err != nil {
+		return nil, err
+	}
+	bucket, err := reliable.NewLeakyBucket(h.cfg.BucketFactor, h.cfg.BucketCeiling)
+	if err != nil {
+		return nil, err
+	}
+	return reliable.NewEngine(ops, bucket)
+}
+
+// Classify runs the hybrid pipeline on a full-resolution CHW image.
+func (h *HybridNetwork) Classify(img *tensor.Tensor) (Result, error) {
+	switch h.cfg.Wiring {
+	case WiringParallel:
+		return h.classifyParallel(img)
+	case WiringBifurcated:
+		return h.classifyBifurcated(img)
+	default:
+		return Result{}, fmt.Errorf("core: unknown wiring %d", int(h.cfg.Wiring))
+	}
+}
+
+// classifyParallel implements Figure 1: reliable edge stage + qualifier in
+// parallel with the (possibly downsampled) CNN.
+func (h *HybridNetwork) classifyParallel(img *tensor.Tensor) (Result, error) {
+	var res Result
+	engine, err := h.newEngine()
+	if err != nil {
+		return res, err
+	}
+	// Deterministic saliency preprocessing: traffic-sign faces are
+	// saturated, so the colourfulness channel separates the sign from grey
+	// background and clutter. It is a bounded per-pixel min/max with no
+	// accumulation — the class of operation the paper's qualifier is
+	// allowed to treat as deterministically verifiable.
+	saliency := img
+	if img.Rank() == 3 && img.Dim(0) == 3 {
+		col, err := shape.Colorfulness(img)
+		if err != nil {
+			return res, err
+		}
+		saliency, err = col.Reshape(1, col.Dim(0), col.Dim(1))
+		if err != nil {
+			return res, err
+		}
+	}
+	// Reliable edge stage on the full-resolution saliency channel.
+	edges, execErr := reliable.Conv2D(engine, saliency, h.sobelBank, nil,
+		reliable.ConvSpec{Stride: 1, Pad: h.cfg.SobelKernel / 2})
+	res.Stats = engine.Stats()
+	res.Bucket = engine.Bucket().Snapshot()
+
+	// CNN path (non-reliable by design).
+	cnnIn := img
+	if h.cfg.DownsampleFactor > 1 {
+		cnnIn, err = BoxDownsample(img, h.cfg.DownsampleFactor)
+		if err != nil {
+			return res, err
+		}
+	}
+	probs, class, err := nn.Predict(h.net, cnnIn)
+	if err != nil {
+		return res, fmt.Errorf("core: CNN path: %w", err)
+	}
+	res.Probs, res.Class, res.Confidence = probs, class, probs[class]
+
+	if execErr != nil {
+		if errors.Is(execErr, reliable.ErrBucketTripped) {
+			res.Decision = DecisionExecutionFailed
+			res.ExecErr = execErr
+			return res, nil
+		}
+		return res, execErr
+	}
+	mag, err := EdgeMagnitudeFromChannels(edges, SobelPair{XIdx: 0, YIdx: 1})
+	if err != nil {
+		return res, err
+	}
+	qres, err := h.qualifier.QualifyEdgeMap(mag)
+	if err != nil {
+		return res, fmt.Errorf("core: qualifier: %w", err)
+	}
+	res.Qualifier = qres
+	h.decide(&res)
+	return res, nil
+}
+
+// classifyBifurcated implements Figure 2: conv1 executes reliably; its
+// output feeds both the qualifier (via the Sobel channels) and the rest of
+// the CNN.
+func (h *HybridNetwork) classifyBifurcated(img *tensor.Tensor) (Result, error) {
+	var res Result
+	engine, err := h.newEngine()
+	if err != nil {
+		return res, err
+	}
+	features, execErr := reliable.Conv2D(engine, img, h.conv1.Weight(), h.conv1.Bias().Data(),
+		reliable.ConvSpec{Stride: h.conv1.Stride(), Pad: h.conv1.Pad()})
+	res.Stats = engine.Stats()
+	res.Bucket = engine.Bucket().Snapshot()
+	if execErr != nil {
+		if errors.Is(execErr, reliable.ErrBucketTripped) {
+			res.Decision = DecisionExecutionFailed
+			res.ExecErr = execErr
+			return res, nil
+		}
+		return res, execErr
+	}
+
+	// Continue the reliable prefix beyond conv1 if configured (the
+	// generalised DCNN), then hand over to the non-reliable CNN.
+	tail := features
+	if h.cfg.DCNNDepth > 1 {
+		tail, execErr = ExecutePrefixFrom(engine, h.net, 1, h.cfg.DCNNDepth, features)
+		res.Stats = engine.Stats()
+		res.Bucket = engine.Bucket().Snapshot()
+		if execErr != nil {
+			if errors.Is(execErr, reliable.ErrBucketTripped) {
+				res.Decision = DecisionExecutionFailed
+				res.ExecErr = execErr
+				return res, nil
+			}
+			return res, execErr
+		}
+	}
+
+	// CNN path: continue after the reliable prefix.
+	logits, err := h.net.ForwardFrom(h.cfg.DCNNDepth, tail)
+	if err != nil {
+		return res, fmt.Errorf("core: CNN continuation: %w", err)
+	}
+	probs, err := nn.Softmax(logits)
+	if err != nil {
+		return res, err
+	}
+	class := 0
+	for i, p := range probs {
+		if p > probs[class] {
+			class = i
+		}
+	}
+	res.Probs, res.Class, res.Confidence = probs, class, probs[class]
+
+	// Qualifier path: edge magnitude from the reliably computed Sobel
+	// channels of the SAME feature map the CNN consumes.
+	mag, err := EdgeMagnitudeFromChannels(features, h.cfg.Pair)
+	if err != nil {
+		return res, err
+	}
+	qres, err := h.qualifier.QualifyEdgeMap(mag)
+	if err != nil {
+		return res, fmt.Errorf("core: qualifier: %w", err)
+	}
+	res.Qualifier = qres
+	h.decide(&res)
+	return res, nil
+}
+
+// decide implements the Reliable Result block.
+func (h *HybridNetwork) decide(res *Result) {
+	required, critical := h.cfg.SafetyClasses[res.Class]
+	if !critical {
+		res.Decision = DecisionNotSafetyRelevant
+		return
+	}
+	if res.Qualifier.Class == required {
+		res.Decision = DecisionQualified
+		return
+	}
+	res.Decision = DecisionRejected
+}

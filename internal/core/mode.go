@@ -1,0 +1,100 @@
+// Package core implements the paper's primary contribution: the hybrid
+// (convolutional) neural network that partitions execution into a reliably
+// executed dependable part (the DCNN) and a conventional, non-reliable CNN,
+// qualifies safety-critical classifications with a deterministic SAX-based
+// shape qualifier, and carries an analytic reliability guarantee derived
+// from the redundancy mode and the leaky-bucket parameters.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/reliable"
+)
+
+// RedundancyMode selects how the DCNN's overloaded operators execute.
+type RedundancyMode int
+
+const (
+	// ModePlain is Algorithm 1: single execution, qualifier constant true.
+	ModePlain RedundancyMode = iota + 1
+	// ModeTemporalDMR is Algorithm 2: execute twice on one PE, compare.
+	ModeTemporalDMR
+	// ModeSpatialDMR executes on two PEs and compares.
+	ModeSpatialDMR
+	// ModeTMR executes on three PEs and votes.
+	ModeTMR
+)
+
+// String implements fmt.Stringer.
+func (m RedundancyMode) String() string {
+	switch m {
+	case ModePlain:
+		return "plain"
+	case ModeTemporalDMR:
+		return "temporal-dmr"
+	case ModeSpatialDMR:
+		return "spatial-dmr"
+	case ModeTMR:
+		return "tmr"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// PEs returns how many processing elements the mode occupies.
+func (m RedundancyMode) PEs() (int, error) {
+	switch m {
+	case ModePlain, ModeTemporalDMR:
+		return 1, nil
+	case ModeSpatialDMR:
+		return 2, nil
+	case ModeTMR:
+		return 3, nil
+	default:
+		return 0, fmt.Errorf("core: unknown redundancy mode %d", int(m))
+	}
+}
+
+// ExecutionsPerOp returns how many times each operation executes (the
+// computational-expense multiplier Table 1 measures).
+func (m RedundancyMode) ExecutionsPerOp() (int, error) {
+	switch m {
+	case ModePlain:
+		return 1, nil
+	case ModeTemporalDMR, ModeSpatialDMR:
+		return 2, nil
+	case ModeTMR:
+		return 3, nil
+	default:
+		return 0, fmt.Errorf("core: unknown redundancy mode %d", int(m))
+	}
+}
+
+// ALUFactory produces the processing elements the DCNN executes on. The
+// default (nil) factory yields ideal fault-free ALUs; fault campaigns supply
+// factories producing injected ALUs.
+type ALUFactory func() fault.ALU
+
+func defaultALUFactory() fault.ALU { return fault.Ideal{} }
+
+// NewOps builds the overloaded operators for the mode, drawing the required
+// number of PEs from the factory.
+func (m RedundancyMode) NewOps(factory ALUFactory) (reliable.Ops, error) {
+	if factory == nil {
+		factory = defaultALUFactory
+	}
+	switch m {
+	case ModePlain:
+		return reliable.NewPlain(factory())
+	case ModeTemporalDMR:
+		return reliable.NewTemporalDMR(factory())
+	case ModeSpatialDMR:
+		return reliable.NewSpatialDMR(factory(), factory())
+	case ModeTMR:
+		return reliable.NewTMR(factory(), factory(), factory())
+	default:
+		return nil, fmt.Errorf("core: unknown redundancy mode %d", int(m))
+	}
+}

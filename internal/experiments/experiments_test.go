@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/shape"
+)
+
+// tinyFigure4Config keeps the training-based experiments fast in tests.
+func tinyFigure4Config() Figure4Config {
+	return Figure4Config{
+		Micro: nn.MicroConfig{
+			InputSize: 16, Conv1Filters: 6, Conv1Kernel: 3,
+			Conv2Filters: 8, Hidden: 16, Classes: 6, UseLRN: false,
+		},
+		PerClass: 12,
+		Epochs:   6,
+		LR:       0.03,
+		Seed:     1,
+	}
+}
+
+func TestMarkdownTable(t *testing.T) {
+	md := Markdown([]string{"A", "B"}, [][]string{{"1", "2"}, {"3", "4"}})
+	for _, want := range []string{"| A | B |", "| --- | --- |", "| 1 | 2 |", "| 3 | 4 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	plot := ASCIIPlot([]float64{1, 2, 3, 2, 1}, 20, 5, "abc")
+	if !strings.Contains(plot, "SAX: abc") {
+		t.Error("plot missing SAX word header")
+	}
+	if !strings.Contains(plot, "*") {
+		t.Error("plot has no points")
+	}
+	if ASCIIPlot(nil, 20, 5, "") != "" {
+		t.Error("empty series should yield empty plot")
+	}
+	if ASCIIPlot([]float64{1}, 1, 1, "") != "" {
+		t.Error("degenerate dims should yield empty plot")
+	}
+	// Flat series must not divide by zero.
+	if ASCIIPlot([]float64{2, 2, 2}, 10, 3, "") == "" {
+		t.Error("flat series should still render")
+	}
+}
+
+func TestRunTable1Scaled(t *testing.T) {
+	res, err := RunTable1(Table1Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(res.Rows))
+	}
+	native, plain, dmr := res.Rows[0], res.Rows[1], res.Rows[2]
+	if native.Seconds <= 0 || plain.Seconds <= 0 || dmr.Seconds <= 0 {
+		t.Fatal("non-positive timings")
+	}
+	// The paper's shape: native ≪ reliable-plain < reliable-redundant,
+	// with the redundant/plain ratio in the vicinity of 2 (paper: 2.15).
+	if !(native.Seconds < plain.Seconds) {
+		t.Errorf("native %.4fs should beat reliable-plain %.4fs", native.Seconds, plain.Seconds)
+	}
+	if dmr.Seconds < plain.Seconds*0.95 {
+		t.Errorf("plain %.4fs should beat redundant %.4fs", plain.Seconds, dmr.Seconds)
+	}
+	// Wall-clock tests under parallel-suite CPU contention are noisy even
+	// with best-of-N; only the ordering (with a small noise allowance) and
+	// an upper sanity bound are asserted. The recorded, quiet-machine ratio
+	// lives in EXPERIMENTS.md.
+	ratio := dmr.Seconds / plain.Seconds
+	if ratio < 1.0 || ratio > 4 {
+		t.Errorf("redundant/plain ratio %.2f outside plausible band [1.0, 4]", ratio)
+	}
+	if res.Markdown() == "" {
+		t.Error("empty markdown")
+	}
+}
+
+func TestRunFigure3(t *testing.T) {
+	res, err := RunFigure3(Figure3Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Peaks != 8 {
+		t.Errorf("peaks = %d, want 8 (the paper's eight corners)", res.Peaks)
+	}
+	if res.Class != shape.ClassOctagon {
+		t.Errorf("class = %v, want octagon", res.Class)
+	}
+	if len(res.Series) == 0 || res.Word == "" || res.Plot == "" {
+		t.Error("figure artefacts missing")
+	}
+	if !strings.Contains(res.Markdown(), "SAX") {
+		t.Error("markdown missing SAX word")
+	}
+}
+
+func TestRunFigure4(t *testing.T) {
+	res, err := RunFigure4(tinyFigure4Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("want 6 sweep rows (6 filters), got %d", len(res.Rows))
+	}
+	if res.BaselineAccuracy <= 1.0/6 {
+		t.Errorf("baseline accuracy %.3f no better than chance — training failed", res.BaselineAccuracy)
+	}
+	for _, row := range res.Rows {
+		if row.StopConfidence < 0 || row.StopConfidence > 1 {
+			t.Errorf("confidence %v out of range", row.StopConfidence)
+		}
+		if row.Accuracy < 0 || row.Accuracy > 1 {
+			t.Errorf("accuracy %v out of range", row.Accuracy)
+		}
+	}
+	lo, hi := res.Spread()
+	if lo > hi {
+		t.Error("spread inverted")
+	}
+	// The sweep must not have mutated the model: re-evaluating baseline
+	// reproduces it exactly.
+	again, err := RunFigure4(tinyFigure4Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.BaselineAccuracy != res.BaselineAccuracy {
+		t.Error("experiment is not deterministic across runs")
+	}
+	if res.Markdown() == "" {
+		t.Error("empty markdown")
+	}
+}
+
+func TestRunConfusionCompare(t *testing.T) {
+	res, err := RunConfusionCompare(tinyFigure4Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Original == nil || res.Replaced == nil {
+		t.Fatal("missing confusion matrices")
+	}
+	if res.MaxCellDiff < 0 || res.MaxCellDiff > 1 {
+		t.Errorf("cell diff %v out of range", res.MaxCellDiff)
+	}
+	if res.Markdown() == "" {
+		t.Error("empty markdown")
+	}
+}
+
+func TestRunFreezeStudy(t *testing.T) {
+	res, err := RunFreezeStudy(tinyFigure4Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("want 3 freeze rows, got %d", len(res.Rows))
+	}
+	byMode := map[string]FreezeStudyRow{}
+	for _, row := range res.Rows {
+		byMode[row.Mode.String()] = row
+	}
+	if byMode["hard"].Drift != 0 {
+		t.Errorf("hard freeze drift = %v, want 0", byMode["hard"].Drift)
+	}
+	if byMode["reset-epoch"].Drift != 0 {
+		t.Errorf("reset-epoch drift = %v, want 0", byMode["reset-epoch"].Drift)
+	}
+	if byMode["drift"].Drift <= 0 {
+		t.Error("TF-style drift freeze should show nonzero drift")
+	}
+	if res.Markdown() == "" {
+		t.Error("empty markdown")
+	}
+}
+
+func TestRunRedundancyCoverage(t *testing.T) {
+	rows, err := RunRedundancyCoverage(CoverageConfig{Trials: 8, TransientRate: 5e-4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 4 modes × 2 scenarios
+		t.Fatalf("want 8 rows, got %d", len(rows))
+	}
+	cell := func(mode core.RedundancyMode, scenario string) CoverageRow {
+		for _, r := range rows {
+			if r.Mode == mode && r.Scenario == scenario {
+				return r
+			}
+		}
+		t.Fatalf("missing cell %v/%s", mode, scenario)
+		return CoverageRow{}
+	}
+	// Section II's qualitative claims, quantified:
+	// Plain execution under a permanent fault: silent corruption.
+	if c := cell(core.ModePlain, "permanent-1pe"); c.Tally.SDC != c.Tally.Total() {
+		t.Errorf("plain/permanent should be all SDC: %+v", c.Tally)
+	}
+	// Temporal DMR is DEFEATED by a permanent fault (deterministic repeat).
+	if c := cell(core.ModeTemporalDMR, "permanent-1pe"); c.Tally.SDC != c.Tally.Total() {
+		t.Errorf("temporal-dmr/permanent should be all SDC: %+v", c.Tally)
+	}
+	// Spatial DMR detects it (bucket trips: detected unrecoverable).
+	if c := cell(core.ModeSpatialDMR, "permanent-1pe"); c.Tally.Detected != c.Tally.Total() {
+		t.Errorf("spatial-dmr/permanent should be all detected: %+v", c.Tally)
+	}
+	// TMR masks it completely.
+	if c := cell(core.ModeTMR, "permanent-1pe"); c.Tally.Masked != c.Tally.Total() {
+		t.Errorf("tmr/permanent should be all masked: %+v", c.Tally)
+	}
+	// Under transients, temporal DMR's coverage beats plain's.
+	pt := cell(core.ModePlain, "transient").Tally.Coverage()
+	dt := cell(core.ModeTemporalDMR, "transient").Tally.Coverage()
+	if dt < pt {
+		t.Errorf("temporal DMR transient coverage %.3f below plain %.3f", dt, pt)
+	}
+	if CoverageMarkdown(rows) == "" {
+		t.Error("empty markdown")
+	}
+}
+
+func TestRunRollbackAblation(t *testing.T) {
+	rows, err := RunRollbackAblation(RollbackConfig{
+		Trials: 6, Rates: []float64{1e-4, 2e-3}, MaxUnitAttempts: 3, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 3 strategies × 2 rates
+		t.Fatalf("want 6 rows, got %d", len(rows))
+	}
+	cell := func(strategy string, rate float64) RollbackRow {
+		for _, r := range rows {
+			if r.Strategy == strategy && r.Rate == rate {
+				return r
+			}
+		}
+		t.Fatalf("missing cell %s/%v", strategy, rate)
+		return RollbackRow{}
+	}
+	// At the high fault rate, op-level rollback still covers everything
+	// (every trial ends correct or detected), while unprotected execution
+	// produces silent corruptions.
+	op := cell("op", 2e-3)
+	if op.Tally.SDC != 0 {
+		t.Errorf("op-level rollback produced %d SDCs", op.Tally.SDC)
+	}
+	none := cell("none", 2e-3)
+	if none.Tally.SDC == 0 {
+		t.Error("unprotected execution at rate 2e-3 should corrupt silently")
+	}
+	// Work accounting: op-level DMR costs ≈ 2× a single pass; unit-level
+	// costs ≥ 2× and grows with rollbacks; unprotected costs 1×.
+	if op.WorkFactor < 1.9 || op.WorkFactor > 3 {
+		t.Errorf("op-level work factor %.3f outside [1.9, 3]", op.WorkFactor)
+	}
+	unit := cell("unit", 2e-3)
+	if unit.WorkFactor < 2 {
+		t.Errorf("unit-level work factor %.3f below 2", unit.WorkFactor)
+	}
+	if none.WorkFactor != 1 {
+		t.Errorf("unprotected work factor %.3f != 1", none.WorkFactor)
+	}
+	if RollbackMarkdown(rows) == "" {
+		t.Error("empty markdown")
+	}
+}
+
+func TestRunWeightFaultStudy(t *testing.T) {
+	res, err := RunWeightFaultStudy(WeightFaultConfig{
+		Train:       tinyFigure4Config(),
+		UpsetCounts: []int{2, 32},
+		Trials:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(res.Rows))
+	}
+	if res.BaselineAccuracy <= 1.0/6 {
+		t.Errorf("baseline accuracy %.3f no better than chance", res.BaselineAccuracy)
+	}
+	for _, row := range res.Rows {
+		if row.AccuracyECC < row.AccuracyUnprotected-0.05 {
+			t.Errorf("upsets=%d: ECC accuracy %.3f should not trail unprotected %.3f",
+				row.Upsets, row.AccuracyECC, row.AccuracyUnprotected)
+		}
+	}
+	// ECC with masking should hold accuracy near baseline even at the
+	// heavier upset count.
+	heavy := res.Rows[1]
+	if heavy.AccuracyECC < res.BaselineAccuracy-0.15 {
+		t.Errorf("ECC accuracy %.3f collapsed from baseline %.3f", heavy.AccuracyECC, res.BaselineAccuracy)
+	}
+	if !res.DMRMissesWeightFault {
+		t.Error("the DMR-misses-storage-fault demonstration did not hold")
+	}
+	if res.Markdown() == "" {
+		t.Error("empty markdown")
+	}
+	// Excessive upsets are rejected.
+	if _, err := RunWeightFaultStudy(WeightFaultConfig{
+		Train:       tinyFigure4Config(),
+		UpsetCounts: []int{1 << 30},
+		Trials:      1,
+	}); err == nil {
+		t.Error("absurd upset count should fail")
+	}
+}

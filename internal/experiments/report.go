@@ -1,0 +1,80 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation, plus the two design-choice ablations DESIGN.md commits to:
+//
+//   - Table 1: reliable convolution runtime, plain vs redundant operators,
+//     with the native execution and SAX qualifier reference timings;
+//   - Figure 3: the radial time series and SAX word of a slightly angled
+//     stop sign;
+//   - Figure 4: stop-class confidence after replacing each first-layer
+//     filter with a Sobel filter;
+//   - in-text results: Sobel replacement confusion-matrix comparison and
+//     the freeze-mode study;
+//   - Ablation A: redundancy-mode fault coverage (temporal/spatial DMR,
+//     TMR) under transient and permanent faults;
+//   - Ablation B: rollback distance (operation vs unit vs none).
+//
+// Each experiment returns structured rows; Markdown renders them for the
+// CLI and EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Markdown renders a pipe table.
+func Markdown(headers []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(headers, " | ") + " |\n")
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// ASCIIPlot renders a series as a crude terminal plot (rows top-down from
+// max to min), matching the role of Figure 3's plot. The SAX word, when
+// non-empty, is printed above the plot exactly as in the paper's figure.
+func ASCIIPlot(series []float64, width, height int, saxWord string) string {
+	if len(series) == 0 || width < 2 || height < 2 {
+		return ""
+	}
+	mn, mx := series[0], series[0]
+	for _, v := range series {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	span := mx - mn
+	if span == 0 {
+		span = 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for c := 0; c < width; c++ {
+		idx := c * (len(series) - 1) / (width - 1)
+		v := series[idx]
+		r := int((mx - v) / span * float64(height-1))
+		grid[r][c] = '*'
+	}
+	var b strings.Builder
+	if saxWord != "" {
+		fmt.Fprintf(&b, "SAX: %s\n", saxWord)
+	}
+	for _, row := range grid {
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "min=%.2f max=%.2f n=%d\n", mn, mx, len(series))
+	return b.String()
+}

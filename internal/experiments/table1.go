@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/gtsrb"
+	"repro/internal/reliable"
+	"repro/internal/shape"
+	"repro/internal/tensor"
+)
+
+// Table1Config sizes the Table 1 workload.
+type Table1Config struct {
+	// Full selects the paper's exact first AlexNet convolution layer:
+	// 96 filters of 11×11×3 over a 227×227×3 input at stride 4
+	// (105,415,200 MACs). When false, a scaled workload (16 filters of
+	// 11×11×3 over 64×64×3) keeps CI fast while preserving the ratios.
+	Full bool
+	// Reps is how many times each timed row runs; the minimum is reported
+	// (standard wall-clock de-noising; default 3 scaled, 1 full).
+	Reps int
+	// Seed drives the input/filter contents.
+	Seed int64
+}
+
+// Table1Row is one measurement row.
+type Table1Row struct {
+	Name    string
+	Seconds float64
+	// RatioVsPlain is the row's time over the reliable-plain row's time
+	// (the paper's headline 648.87/301.91 ≈ 2.15).
+	RatioVsPlain float64
+	MACs         uint64
+}
+
+// Table1Result carries all rows plus the workload description.
+type Table1Result struct {
+	Rows     []Table1Row
+	Workload string
+}
+
+// workload builds the convolution operands.
+func (c Table1Config) workload() (in, filters *tensor.Tensor, spec reliable.ConvSpec, desc string, err error) {
+	rng := rand.New(rand.NewSource(c.Seed))
+	if c.Full {
+		in = tensor.MustNew(3, 227, 227)
+		filters = tensor.MustNew(96, 3, 11, 11)
+		spec = reliable.ConvSpec{Stride: 4}
+		desc = "AlexNet conv1: 96 × 11×11×3 over 227×227×3, stride 4"
+	} else {
+		in = tensor.MustNew(3, 64, 64)
+		filters = tensor.MustNew(16, 3, 11, 11)
+		spec = reliable.ConvSpec{Stride: 4}
+		desc = "scaled conv1: 16 × 11×11×3 over 64×64×3, stride 4"
+	}
+	in.FillUniform(rng, 0, 1)
+	filters.FillUniform(rng, -0.1, 0.1)
+	return in, filters, spec, desc, nil
+}
+
+// RunTable1 regenerates Table 1: native execution, the reliable convolution
+// kernel (Algorithm 3) with non-redundant multiplication (Algorithm 1) and
+// with redundant multiplication (Algorithm 2), plus the SAX qualifier
+// reference timing the paper quotes alongside (1.942 s naive Python).
+func RunTable1(cfg Table1Config) (*Table1Result, error) {
+	in, filters, spec, desc, err := cfg.workload()
+	if err != nil {
+		return nil, err
+	}
+	macs, err := reliable.MACCount(in, filters, spec)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table1Result{Workload: desc}
+	reps := cfg.Reps
+	if reps == 0 {
+		if cfg.Full {
+			reps = 1
+		} else {
+			reps = 3
+		}
+	}
+	best := func(f func() error) (float64, error) {
+		bestSec := 0.0
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			if err := f(); err != nil {
+				return 0, err
+			}
+			sec := time.Since(start).Seconds()
+			if r == 0 || sec < bestSec {
+				bestSec = sec
+			}
+		}
+		return bestSec, nil
+	}
+
+	// Native (unprotected) execution — the paper's "native TensorFlow
+	// execution achieves this in 0.05 s" reference row.
+	nativeSec, err := best(func() error {
+		_, err := reliable.NativeConv2D(in, filters, nil, spec)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	timeReliable := func(ops reliable.Ops) (float64, error) {
+		return best(func() error {
+			engine, err := reliable.NewEngine(ops, nil)
+			if err != nil {
+				return err
+			}
+			_, err = reliable.Conv2D(engine, in, filters, nil, spec)
+			return err
+		})
+	}
+	// The overloaded operators execute on the bit-level emulated IEEE-754
+	// circuits (fault.Soft), the software stand-in for the FPGA arithmetic
+	// operators the paper targets. This reproduces the paper's cost
+	// structure: the arithmetic dominates, so redundant execution costs
+	// ≈ 2× non-redundant and both dwarf native execution.
+	plainOps, err := reliable.NewPlain(fault.Soft{})
+	if err != nil {
+		return nil, err
+	}
+	plainSec, err := timeReliable(plainOps)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table1 plain: %w", err)
+	}
+	dmrOps, err := reliable.NewTemporalDMR(fault.Soft{})
+	if err != nil {
+		return nil, err
+	}
+	dmrSec, err := timeReliable(dmrOps)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table1 redundant: %w", err)
+	}
+
+	// SAX qualifier reference: full shape-determination pipeline on an
+	// angled stop sign.
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	img, err := gtsrb.AngledStopSign(96, rng)
+	if err != nil {
+		return nil, err
+	}
+	q, err := shape.NewQualifier(shape.DefaultQualifierConfig())
+	if err != nil {
+		return nil, err
+	}
+	saxSec, err := best(func() error {
+		_, err := q.QualifyImage(img)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res.Rows = []Table1Row{
+		{Name: "native execution (reference)", Seconds: nativeSec, RatioVsPlain: nativeSec / plainSec, MACs: macs},
+		{Name: "reliable conv, Multiplication (Algorithm 1)", Seconds: plainSec, RatioVsPlain: 1, MACs: macs},
+		{Name: "reliable conv, Redundant Multiplication (Algorithm 2)", Seconds: dmrSec, RatioVsPlain: dmrSec / plainSec, MACs: macs},
+		{Name: "SAX shape determination (reference)", Seconds: saxSec, RatioVsPlain: saxSec / plainSec},
+	}
+	return res, nil
+}
+
+// Markdown renders the result.
+func (r *Table1Result) Markdown() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Name,
+			fmt.Sprintf("%.4f s", row.Seconds),
+			fmt.Sprintf("%.3f×", row.RatioVsPlain),
+		})
+	}
+	return "Workload: " + r.Workload + "\n\n" +
+		Markdown([]string{"Execution", "Time", "vs Algorithm 1"}, rows)
+}

@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Outcome classifies the result of one fault-injection trial, following the
+// standard taxonomy of the dependability literature the paper builds on.
+type Outcome int
+
+const (
+	// OutcomeMasked: a fault was injected but the final output is correct
+	// and no error was signalled (the fault was architecturally masked,
+	// e.g. voted away by TMR or numerically absorbed).
+	OutcomeMasked Outcome = iota + 1
+	// OutcomeCorrected: an error was detected and transparently repaired
+	// (retry/rollback succeeded); the output is correct.
+	OutcomeCorrected
+	// OutcomeDetected: an error was detected but could not be repaired —
+	// a detected unrecoverable error (DUE). The application sees a failure
+	// signal, not wrong data.
+	OutcomeDetected
+	// OutcomeSDC: silent data corruption — the output is wrong and nothing
+	// was signalled. The failure mode reliability engineering exists to
+	// eliminate.
+	OutcomeSDC
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeMasked:
+		return "masked"
+	case OutcomeCorrected:
+		return "corrected"
+	case OutcomeDetected:
+		return "detected"
+	case OutcomeSDC:
+		return "sdc"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Tally accumulates trial outcomes. The zero value is ready to use.
+type Tally struct {
+	Masked    int
+	Corrected int
+	Detected  int
+	SDC       int
+}
+
+// Add records one outcome. Unknown outcomes are counted as SDC, the
+// conservative choice.
+func (t *Tally) Add(o Outcome) {
+	switch o {
+	case OutcomeMasked:
+		t.Masked++
+	case OutcomeCorrected:
+		t.Corrected++
+	case OutcomeDetected:
+		t.Detected++
+	default:
+		t.SDC++
+	}
+}
+
+// Total returns the number of recorded trials.
+func (t Tally) Total() int { return t.Masked + t.Corrected + t.Detected + t.SDC }
+
+// SDCRate returns the fraction of trials ending in silent data corruption.
+func (t Tally) SDCRate() float64 {
+	if t.Total() == 0 {
+		return 0
+	}
+	return float64(t.SDC) / float64(t.Total())
+}
+
+// Coverage returns the fraction of trials in which the fault was either
+// harmless or signalled — 1 − SDCRate. This is the quantity the paper's
+// "reliability guarantee" bounds.
+func (t Tally) Coverage() float64 { return 1 - t.SDCRate() }
+
+// String renders the tally as a single report line.
+func (t Tally) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trials=%d masked=%d corrected=%d detected=%d sdc=%d coverage=%.4f",
+		t.Total(), t.Masked, t.Corrected, t.Detected, t.SDC, t.Coverage())
+	return b.String()
+}
+
+// Trial runs one injection experiment and reports its outcome. The run
+// function executes the workload under injection and reports whether the
+// output was correct and whether an error was signalled.
+type Trial func() (correct, signalled bool, err error)
+
+// Classify maps a trial's (correct, signalled) observation to an Outcome.
+// Note that a signalled-and-correct run counts as Corrected (the machinery
+// detected a fault and repaired or absorbed it), while signalled-and-wrong is
+// Detected (DUE: wrong data, but flagged).
+func Classify(correct, signalled bool) Outcome {
+	switch {
+	case correct && !signalled:
+		return OutcomeMasked
+	case correct && signalled:
+		return OutcomeCorrected
+	case !correct && signalled:
+		return OutcomeDetected
+	default:
+		return OutcomeSDC
+	}
+}
+
+// RunCampaign executes n independent trials and tallies the outcomes.
+func RunCampaign(n int, trial Trial) (Tally, error) {
+	var tally Tally
+	if n < 0 {
+		return tally, fmt.Errorf("fault: campaign size %d negative", n)
+	}
+	if trial == nil {
+		return tally, fmt.Errorf("fault: campaign trial must not be nil")
+	}
+	for i := 0; i < n; i++ {
+		correct, signalled, err := trial()
+		if err != nil {
+			return tally, fmt.Errorf("fault: trial %d: %w", i, err)
+		}
+		tally.Add(Classify(correct, signalled))
+	}
+	return tally, nil
+}

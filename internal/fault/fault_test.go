@@ -1,0 +1,477 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitFlipFixedBit(t *testing.T) {
+	m := BitFlip{Bit: 0}
+	if got := m.Corrupt(0, nil); got != 1 {
+		t.Errorf("flip bit 0 of 0 = %d, want 1", got)
+	}
+	if got := m.Corrupt(1, nil); got != 0 {
+		t.Errorf("flip bit 0 of 1 = %d, want 0", got)
+	}
+	sign := BitFlip{Bit: 31}
+	x := float32(1.5)
+	y := CorruptFloat(sign, x, nil)
+	if y != -1.5 {
+		t.Errorf("sign flip of 1.5 = %v, want -1.5", y)
+	}
+}
+
+func TestBitFlipRandomChangesExactlyOneBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := BitFlip{Bit: -1}
+	for i := 0; i < 100; i++ {
+		in := rng.Uint32()
+		out := m.Corrupt(in, rng)
+		if popcount(in^out) != 1 {
+			t.Fatalf("random bitflip changed %d bits", popcount(in^out))
+		}
+	}
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func TestStuckAt(t *testing.T) {
+	hi := StuckAt{Bit: 3, Value: true}
+	if got := hi.Corrupt(0, nil); got != 8 {
+		t.Errorf("stuck-at-1 bit 3 of 0 = %d, want 8", got)
+	}
+	if got := hi.Corrupt(8, nil); got != 8 {
+		t.Errorf("stuck-at-1 idempotence broken: %d", got)
+	}
+	lo := StuckAt{Bit: 3, Value: false}
+	if got := lo.Corrupt(0xFF, nil); got != 0xF7 {
+		t.Errorf("stuck-at-0 bit 3 of 0xFF = %#x, want 0xF7", got)
+	}
+}
+
+func TestMultiBitFlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 5, 32} {
+		m := MultiBitFlip{N: n}
+		in := rng.Uint32()
+		out := m.Corrupt(in, rng)
+		if popcount(in^out) != n {
+			t.Errorf("MultiBitFlip(%d) changed %d bits", n, popcount(in^out))
+		}
+	}
+	// Degenerate N values clamp.
+	m := MultiBitFlip{N: 0}
+	if popcount(m.Corrupt(0, rng)) != 1 {
+		t.Error("N=0 should clamp to 1")
+	}
+	m = MultiBitFlip{N: 100}
+	if popcount(m.Corrupt(0, rng)) != 32 {
+		t.Error("N=100 should clamp to 32")
+	}
+}
+
+func TestWordRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := WordRandom{}
+	a := m.Corrupt(0, rng)
+	b := m.Corrupt(0, rng)
+	if a == b {
+		t.Log("two random words collided (possible but unlikely); not failing")
+	}
+}
+
+func TestModelStrings(t *testing.T) {
+	for _, m := range []Model{
+		BitFlip{Bit: -1}, BitFlip{Bit: 5}, StuckAt{Bit: 2, Value: true},
+		WordRandom{}, MultiBitFlip{N: 3},
+	} {
+		if m.String() == "" {
+			t.Errorf("%T has empty String()", m)
+		}
+	}
+}
+
+func TestIdealALU(t *testing.T) {
+	var a Ideal
+	if a.Mul(3, 4) != 12 || a.Add(3, 4) != 7 {
+		t.Error("ideal ALU arithmetic wrong")
+	}
+}
+
+func TestTransientRateZeroIsIdeal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a, err := NewTransient(0, BitFlip{Bit: -1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if a.Mul(2, 3) != 6 {
+			t.Fatal("rate-0 transient ALU corrupted a result")
+		}
+	}
+	if a.Injected() != 0 {
+		t.Error("rate-0 ALU reported injections")
+	}
+	if a.Ops() != 1000 {
+		t.Errorf("ops = %d, want 1000", a.Ops())
+	}
+}
+
+func TestTransientRateOneAlwaysCorrupts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a, err := NewTransient(1, BitFlip{Bit: -1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for i := 0; i < 200; i++ {
+		if a.Mul(2, 3) != 6 {
+			n++
+		}
+	}
+	// Every op is corrupted, but a mantissa-LSB flip of 6 still changes the
+	// value, so nearly all should differ. Allow none to match exactly.
+	if a.Injected() != 200 {
+		t.Errorf("injected = %d, want 200", a.Injected())
+	}
+	if n == 0 {
+		t.Error("rate-1 ALU never changed a value")
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if _, err := NewTransient(-0.1, BitFlip{}, rng); err == nil {
+		t.Error("negative rate should fail")
+	}
+	if _, err := NewTransient(1.1, BitFlip{}, rng); err == nil {
+		t.Error("rate > 1 should fail")
+	}
+	if _, err := NewTransient(0.5, nil, rng); err == nil {
+		t.Error("nil model should fail")
+	}
+	if _, err := NewTransient(0.5, BitFlip{}, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+}
+
+func TestPermanentIsDeterministic(t *testing.T) {
+	a, err := NewPermanent(StuckAt{Bit: 20, Value: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := a.Mul(1.5, 2.5)
+	y := a.Mul(1.5, 2.5)
+	if x != y {
+		t.Error("permanent fault must repeat identically — temporal redundancy must NOT detect it")
+	}
+	if a.Ops() != 2 {
+		t.Errorf("ops = %d, want 2", a.Ops())
+	}
+	if _, err := NewPermanent(nil); err == nil {
+		t.Error("nil model should fail")
+	}
+}
+
+func TestPermanentDiffersFromIdealSometimes(t *testing.T) {
+	a, _ := NewPermanent(StuckAt{Bit: 22, Value: true})
+	var ideal Ideal
+	diff := 0
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		x, y := rng.Float32(), rng.Float32()
+		if a.Mul(x, y) != ideal.Mul(x, y) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("stuck-at fault never changed any product")
+	}
+}
+
+func TestIntermittent(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a, err := NewIntermittent(0.5, StuckAt{Bit: 20, Value: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		a.Add(1, 2)
+	}
+	inj := a.Injected()
+	if inj < 180 || inj > 320 {
+		t.Errorf("intermittent injected %d of 500 at rate 0.5", inj)
+	}
+	if _, err := NewIntermittent(2, StuckAt{}, rng); err == nil {
+		t.Error("rate > 1 should fail")
+	}
+	if _, err := NewIntermittent(0.5, nil, rng); err == nil {
+		t.Error("nil model should fail")
+	}
+}
+
+func TestOnceAfter(t *testing.T) {
+	a, err := NewOnceAfter(3, BitFlip{Bit: 31}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]float32, 6)
+	for i := range results {
+		results[i] = a.Mul(2, 3)
+	}
+	for i, r := range results {
+		want := float32(6)
+		if i == 3 {
+			want = -6 // sign-flipped at the programmed op
+		}
+		if r != want {
+			t.Errorf("op %d = %v, want %v", i, r, want)
+		}
+	}
+	if !a.Fired() {
+		t.Error("OnceAfter should report fired")
+	}
+	if a.Ops() != 6 {
+		t.Errorf("ops = %d", a.Ops())
+	}
+	if _, err := NewOnceAfter(0, nil, nil); err == nil {
+		t.Error("nil model should fail")
+	}
+}
+
+func TestInjectSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := make([]float32, 1000)
+	for i := range data {
+		data[i] = 1
+	}
+	n, err := InjectSlice(data, 0.1, BitFlip{Bit: -1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 60 || n > 150 {
+		t.Errorf("injected %d of 1000 at rate 0.1", n)
+	}
+	changed := 0
+	for _, x := range data {
+		if x != 1 {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("no elements changed")
+	}
+	if _, err := InjectSlice(data, -1, BitFlip{}, rng); err == nil {
+		t.Error("bad rate should fail")
+	}
+	if _, err := InjectSlice(data, 0.5, nil, rng); err == nil {
+		t.Error("nil model should fail")
+	}
+}
+
+func TestInjectExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	data := make([]float32, 50)
+	idx, err := InjectExactly(data, 5, BitFlip{Bit: 30}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 5 {
+		t.Fatalf("returned %d indices, want 5", len(idx))
+	}
+	changed := 0
+	for _, x := range data {
+		if x != 0 {
+			changed++
+		}
+	}
+	if changed != 5 {
+		t.Errorf("%d elements changed, want 5", changed)
+	}
+	if _, err := InjectExactly(data, 51, BitFlip{}, rng); err == nil {
+		t.Error("n > len should fail")
+	}
+	if _, err := InjectExactly(data, -1, BitFlip{}, rng); err == nil {
+		t.Error("negative n should fail")
+	}
+	if _, err := InjectExactly(data, 1, nil, rng); err == nil {
+		t.Error("nil model should fail")
+	}
+}
+
+func TestECCMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	orig := []float32{1, 2, 3, 4}
+	m := NewECCMemory(orig)
+	if m.Len() != 4 {
+		t.Fatalf("len = %d", m.Len())
+	}
+
+	// Clean read.
+	v, ok, err := m.Read(0, orig)
+	if err != nil || !ok || v != 1 {
+		t.Fatalf("clean read = %v %v %v", v, ok, err)
+	}
+
+	// Single upset: corrected on read.
+	if err := m.Upset(1, rng); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err = m.Read(1, orig)
+	if err != nil || !ok || v != 2 {
+		t.Fatalf("single-upset read = %v %v %v, want corrected 2", v, ok, err)
+	}
+	if m.Corrected() != 1 {
+		t.Errorf("corrected = %d", m.Corrected())
+	}
+
+	// Double upset: detected, not corrected.
+	if err := m.Upset(2, rng); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Upset(2, rng); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err = m.Read(2, orig)
+	if err != nil || ok {
+		t.Fatalf("double-upset read ok=%v err=%v, want detected", ok, err)
+	}
+	if m.Detected() != 1 {
+		t.Errorf("detected = %d", m.Detected())
+	}
+
+	// Scrub repairs the single-upset word only.
+	repaired := m.Scrub(orig)
+	if repaired != 1 {
+		t.Errorf("scrub repaired %d, want 1", repaired)
+	}
+	v, ok, _ = m.Read(1, orig)
+	if !ok || v != 2 {
+		t.Error("scrubbed word should read clean")
+	}
+	_, ok, _ = m.Read(2, orig)
+	if ok {
+		t.Error("uncorrectable word should stay detected after scrub")
+	}
+
+	if err := m.Upset(99, rng); err == nil {
+		t.Error("out-of-range upset should fail")
+	}
+	if _, _, err := m.Read(99, orig); err == nil {
+		t.Error("out-of-range read should fail")
+	}
+}
+
+func TestOutcomeClassify(t *testing.T) {
+	cases := []struct {
+		correct, signalled bool
+		want               Outcome
+	}{
+		{true, false, OutcomeMasked},
+		{true, true, OutcomeCorrected},
+		{false, true, OutcomeDetected},
+		{false, false, OutcomeSDC},
+	}
+	for _, c := range cases {
+		if got := Classify(c.correct, c.signalled); got != c.want {
+			t.Errorf("Classify(%v,%v) = %v, want %v", c.correct, c.signalled, got, c.want)
+		}
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for _, o := range []Outcome{OutcomeMasked, OutcomeCorrected, OutcomeDetected, OutcomeSDC, Outcome(99)} {
+		if o.String() == "" {
+			t.Error("empty outcome string")
+		}
+	}
+}
+
+func TestTally(t *testing.T) {
+	var tl Tally
+	tl.Add(OutcomeMasked)
+	tl.Add(OutcomeCorrected)
+	tl.Add(OutcomeDetected)
+	tl.Add(OutcomeSDC)
+	tl.Add(Outcome(0)) // unknown counts as SDC
+	if tl.Total() != 5 {
+		t.Errorf("total = %d", tl.Total())
+	}
+	if math.Abs(tl.SDCRate()-0.4) > 1e-12 {
+		t.Errorf("sdc rate = %v", tl.SDCRate())
+	}
+	if math.Abs(tl.Coverage()-0.6) > 1e-12 {
+		t.Errorf("coverage = %v", tl.Coverage())
+	}
+	if tl.String() == "" {
+		t.Error("tally string empty")
+	}
+	var empty Tally
+	if empty.SDCRate() != 0 || empty.Coverage() != 1 {
+		t.Error("empty tally rates wrong")
+	}
+}
+
+func TestRunCampaign(t *testing.T) {
+	i := 0
+	tally, err := RunCampaign(4, func() (bool, bool, error) {
+		i++
+		return i%2 == 0, true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.Corrected != 2 || tally.Detected != 2 {
+		t.Errorf("tally = %+v", tally)
+	}
+	if _, err := RunCampaign(-1, nil); err == nil {
+		t.Error("negative n should fail")
+	}
+	if _, err := RunCampaign(1, nil); err == nil {
+		t.Error("nil trial should fail")
+	}
+}
+
+// Property: flipping the same bit twice is the identity.
+func TestQuickBitFlipInvolution(t *testing.T) {
+	f := func(bits uint32, bit uint8) bool {
+		m := BitFlip{Bit: int(bit % 32)}
+		return m.Corrupt(m.Corrupt(bits, nil), nil) == bits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: StuckAt is idempotent.
+func TestQuickStuckAtIdempotent(t *testing.T) {
+	f := func(bits uint32, bit uint8, val bool) bool {
+		m := StuckAt{Bit: int(bit % 32), Value: val}
+		once := m.Corrupt(bits, nil)
+		return m.Corrupt(once, nil) == once
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CorruptFloat with a random bit flip always changes the bit
+// pattern (though possibly not the comparison value, e.g. -0 vs +0).
+func TestQuickBitFlipChangesPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	f := func(x float32) bool {
+		y := CorruptFloat(BitFlip{Bit: -1}, x, rng)
+		return math.Float32bits(x) != math.Float32bits(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,247 @@
+package fault
+
+import "math"
+
+// This file implements a bit-level IEEE-754 binary32 multiplier and adder —
+// the software stand-in for the FPGA-instantiable arithmetic operators the
+// paper ultimately targets ("there are a substantial number of degrees of
+// freedom when implementing arithmetic operations in an FPGA"). The Soft
+// ALU executes every operation through these emulated circuits, which makes
+// the *arithmetic* the dominant cost of an overloaded operation, exactly as
+// in the paper's measurement setup, and gives the Table 1 benchmarks their
+// cost structure (redundant execution ≈ 2× non-redundant, both ≫ native).
+//
+// The emulation is exact: results are bit-identical to hardware IEEE-754
+// round-to-nearest-even arithmetic, including denormals, signed zeros and
+// infinities (NaN payloads are canonicalised). Property tests compare it
+// against the FPU on randomised and directed operand sets.
+
+const (
+	f32SignMask = 1 << 31
+	f32ExpMask  = 0xFF << 23
+	f32FracMask = 1<<23 - 1
+	f32QNaN     = 0x7FC00000
+)
+
+// MulSoft returns a*b computed by the bit-level emulated multiplier.
+func MulSoft(a, b float32) float32 {
+	return math.Float32frombits(mulBits(math.Float32bits(a), math.Float32bits(b)))
+}
+
+// AddSoft returns a+b computed by the bit-level emulated adder.
+func AddSoft(a, b float32) float32 {
+	return math.Float32frombits(addBits(math.Float32bits(a), math.Float32bits(b)))
+}
+
+// Soft is an ALU computing through the emulated circuits. The zero value is
+// ready to use.
+type Soft struct{}
+
+var _ ALU = Soft{}
+
+// Mul implements ALU via the emulated multiplier.
+func (Soft) Mul(a, b float32) float32 { return MulSoft(a, b) }
+
+// Add implements ALU via the emulated adder.
+func (Soft) Add(a, b float32) float32 { return AddSoft(a, b) }
+
+// decompose splits bits into sign, unbiased exponent and a mantissa with the
+// implicit bit applied (denormals get exponent −126 and their raw mantissa,
+// which keeps alignment arithmetic uniform).
+func decompose(bits uint32) (sign uint32, exp int, frac uint32) {
+	sign = bits & f32SignMask
+	e := int(bits >> 23 & 0xFF)
+	frac = bits & f32FracMask
+	if e == 0 {
+		return sign, -126, frac // denormal (or zero): no implicit bit
+	}
+	return sign, e - 127, frac | 1<<23
+}
+
+// mulBits is the emulated binary32 multiplier.
+func mulBits(a, b uint32) uint32 {
+	ea := a & f32ExpMask
+	eb := b & f32ExpMask
+	sign := (a ^ b) & f32SignMask
+
+	// Specials.
+	if ea == f32ExpMask { // a is Inf or NaN
+		if a&f32FracMask != 0 {
+			return f32QNaN // NaN propagates (canonicalised)
+		}
+		if eb == f32ExpMask && b&f32FracMask != 0 {
+			return f32QNaN
+		}
+		if b&^uint32(f32SignMask) == 0 {
+			return f32QNaN // Inf × 0
+		}
+		return sign | f32ExpMask // Inf
+	}
+	if eb == f32ExpMask {
+		if b&f32FracMask != 0 {
+			return f32QNaN
+		}
+		if a&^uint32(f32SignMask) == 0 {
+			return f32QNaN // 0 × Inf
+		}
+		return sign | f32ExpMask
+	}
+	if a&^uint32(f32SignMask) == 0 || b&^uint32(f32SignMask) == 0 {
+		return sign // signed zero
+	}
+
+	_, expA, fa := decompose(a)
+	_, expB, fb := decompose(b)
+	// Normalise denormal inputs so both mantissas have bit 23 set.
+	for fa&(1<<23) == 0 {
+		fa <<= 1
+		expA--
+	}
+	for fb&(1<<23) == 0 {
+		fb <<= 1
+		expB--
+	}
+
+	// 24×24 → 47- or 48-bit product; normalise the MSB to bit 47, so the
+	// value is P/2^47 ∈ [1, 2).
+	p := uint64(fa) * uint64(fb)
+	e := expA + expB
+	if p&(1<<47) != 0 {
+		e++
+	} else {
+		p <<= 1
+	}
+	return roundPack(sign, e, p, 47)
+}
+
+// roundPack rounds a positive significand with its MSB at bit `msb`
+// (value = p / 2^msb ∈ [1,2)) to 24 bits with round-to-nearest-even and
+// encodes the float, handling overflow and gradual underflow.
+func roundPack(sign uint32, e int, p uint64, msb uint) uint32 {
+	shift := int(msb) - 23 // bits to drop for a 24-bit significand
+	ebiased := e + 127
+	if ebiased <= 0 {
+		// Gradual underflow: shift further so the encoded exponent is 0.
+		shift += 1 - ebiased
+		ebiased = 0
+		if shift > 62 {
+			shift = 62 // everything becomes sticky
+		}
+	}
+	m := p >> uint(shift)
+	rem := p & (1<<uint(shift) - 1)
+	half := uint64(1) << uint(shift-1)
+	if rem > half || (rem == half && m&1 == 1) {
+		m++
+	}
+	if m >= 1<<24 {
+		m >>= 1
+		ebiased++
+	}
+	if ebiased == 0 {
+		// Denormal — or the round-up to the smallest normal, which the
+		// encoding below handles naturally (m = 2^23 sets the exponent
+		// field to 1 with a zero fraction).
+		return sign | uint32(m)
+	}
+	if m&(1<<23) == 0 {
+		// Unnormalised significand at the denormal boundary (the adder's
+		// normalisation loop stops at e = −126, i.e. ebiased = 1): encode
+		// as a denormal, whose exponent field 0 has the same 2^−126 scale.
+		return sign | uint32(m)
+	}
+	if ebiased >= 0xFF {
+		return sign | f32ExpMask // overflow → Inf
+	}
+	return sign | uint32(ebiased)<<23 | uint32(m)&f32FracMask
+}
+
+// addBits is the emulated binary32 adder (guard/round/sticky datapath).
+func addBits(a, b uint32) uint32 {
+	ea := a & f32ExpMask
+	eb := b & f32ExpMask
+
+	// Specials.
+	if ea == f32ExpMask {
+		if a&f32FracMask != 0 {
+			return f32QNaN
+		}
+		if eb == f32ExpMask {
+			if b&f32FracMask != 0 {
+				return f32QNaN
+			}
+			if (a^b)&f32SignMask != 0 {
+				return f32QNaN // Inf − Inf
+			}
+		}
+		return a // Inf dominates
+	}
+	if eb == f32ExpMask {
+		if b&f32FracMask != 0 {
+			return f32QNaN
+		}
+		return b
+	}
+	if a&^uint32(f32SignMask) == 0 { // a is ±0
+		if b&^uint32(f32SignMask) == 0 {
+			// ±0 + ±0: −0 only when both are −0 (round-to-nearest).
+			return a & b
+		}
+		return b
+	}
+	if b&^uint32(f32SignMask) == 0 {
+		return a
+	}
+
+	signA, expA, fracA := decompose(a)
+	signB, expB, fracB := decompose(b)
+
+	// 3 extra bits: guard, round, sticky.
+	fa := uint64(fracA) << 3
+	fb := uint64(fracB) << 3
+	// Align to the larger exponent, keeping a sticky bit.
+	if expA < expB || (expA == expB && fa < fb) {
+		signA, signB = signB, signA
+		expA, expB = expB, expA
+		fa, fb = fb, fa
+	}
+	d := expA - expB
+	if d > 0 {
+		if d > 31 {
+			if fb != 0 {
+				fb = 1 // pure sticky
+			}
+		} else {
+			sticky := uint64(0)
+			if fb&(1<<uint(d)-1) != 0 {
+				sticky = 1
+			}
+			fb = fb>>uint(d) | sticky
+		}
+	}
+
+	var sum uint64
+	sign := signA
+	if signA == signB {
+		sum = fa + fb
+	} else {
+		sum = fa - fb // fa ≥ fb by the swap above
+		if sum == 0 {
+			return 0 // exact cancellation → +0 (round-to-nearest)
+		}
+	}
+
+	// Normalise: significand should have its MSB at bit 26 (24 bits + 3
+	// GRS − 1). After an add it may be at 27; after a subtract, lower.
+	e := expA
+	if sum&(1<<27) != 0 {
+		sticky := sum & 1
+		sum = sum>>1 | sticky
+		e++
+	}
+	for sum&(1<<26) == 0 && e > -126 {
+		sum <<= 1
+		e--
+	}
+	return roundPack(sign, e, sum, 26)
+}

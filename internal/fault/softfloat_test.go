@@ -1,0 +1,139 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// agree reports whether the soft result matches the hardware result
+// bit-for-bit, treating all NaNs as equal (payloads are canonicalised).
+func agree(soft, hard float32) bool {
+	if math.IsNaN(float64(soft)) && math.IsNaN(float64(hard)) {
+		return true
+	}
+	return math.Float32bits(soft) == math.Float32bits(hard)
+}
+
+func TestSoftMulDirected(t *testing.T) {
+	inf := float32(math.Inf(1))
+	nan := float32(math.NaN())
+	tiny := math.Float32frombits(1)          // smallest denormal
+	denorm := math.Float32frombits(0x7FFFFF) // largest denormal
+	maxf := math.MaxFloat32
+	cases := [][2]float32{
+		{0, 0}, {0, -0}, {-0, -0}, {1, 1}, {2, 3}, {-2, 3}, {1.5, 1.5},
+		{0.1, 0.2}, {1e30, 1e30}, {1e30, 1e-30}, {-1e-30, 1e-30},
+		{float32(maxf), 2}, {float32(maxf), float32(maxf)},
+		{tiny, 0.5}, {tiny, tiny}, {denorm, 2}, {denorm, 0.5}, {denorm, denorm},
+		{inf, 1}, {inf, -1}, {inf, 0}, {0, inf}, {inf, inf}, {inf, -inf},
+		{nan, 1}, {1, nan}, {nan, inf}, {nan, 0},
+		{1.0000001, 0.9999999}, {3, 1.0 / 3},
+		{math.Float32frombits(0x00800000), 0.5}, // smallest normal × 0.5 → denormal
+	}
+	for _, c := range cases {
+		soft := MulSoft(c[0], c[1])
+		hard := c[0] * c[1]
+		if !agree(soft, hard) {
+			t.Errorf("MulSoft(%x, %x) = %x, hardware %x",
+				math.Float32bits(c[0]), math.Float32bits(c[1]),
+				math.Float32bits(soft), math.Float32bits(hard))
+		}
+	}
+}
+
+func TestSoftAddDirected(t *testing.T) {
+	inf := float32(math.Inf(1))
+	nan := float32(math.NaN())
+	tiny := math.Float32frombits(1)
+	denorm := math.Float32frombits(0x7FFFFF)
+	maxf := float32(math.MaxFloat32)
+	cases := [][2]float32{
+		{0, 0}, {0, float32(math.Copysign(0, -1))},
+		{float32(math.Copysign(0, -1)), float32(math.Copysign(0, -1))},
+		{1, 1}, {1, -1}, {2, 3}, {-2, 3}, {0.1, 0.2},
+		{1, 1e-10}, {1e10, -1e10}, {1e10, 1}, {1, -0.9999999},
+		{1.0000001, -1}, {maxf, maxf}, {maxf, -maxf}, {maxf, maxf / 2},
+		{tiny, tiny}, {tiny, -tiny}, {denorm, tiny}, {denorm, denorm},
+		{denorm, -tiny}, {1, denorm}, {-1, denorm},
+		{inf, 1}, {inf, inf}, {inf, -inf}, {-inf, 1}, {1, -inf},
+		{nan, 1}, {1, nan}, {nan, inf},
+		{1.5, 2.5}, {0.5, 0.25},
+		{math.Float32frombits(0x00800000), -math.Float32frombits(0x00400000)},
+	}
+	for _, c := range cases {
+		soft := AddSoft(c[0], c[1])
+		hard := c[0] + c[1]
+		if !agree(soft, hard) {
+			t.Errorf("AddSoft(%x, %x) = %x, hardware %x",
+				math.Float32bits(c[0]), math.Float32bits(c[1]),
+				math.Float32bits(soft), math.Float32bits(hard))
+		}
+	}
+}
+
+// Property: the emulated multiplier is bit-exact against the FPU on
+// arbitrary bit patterns (including denormals, infinities and NaNs).
+func TestQuickSoftMulMatchesHardware(t *testing.T) {
+	f := func(ab, bb uint32) bool {
+		a := math.Float32frombits(ab)
+		b := math.Float32frombits(bb)
+		return agree(MulSoft(a, b), a*b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the emulated adder is bit-exact against the FPU.
+func TestQuickSoftAddMatchesHardware(t *testing.T) {
+	f := func(ab, bb uint32) bool {
+		a := math.Float32frombits(ab)
+		b := math.Float32frombits(bb)
+		return agree(AddSoft(a, b), a+b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Near-cancellation stress: differences of close numbers exercise the
+// normalisation loop and the guard/round/sticky datapath.
+func TestSoftAddCancellationSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 20000; i++ {
+		a := math.Float32frombits(rng.Uint32()&0x3FFFFFFF | 0x3F000000) // ~[0.5, 4)
+		ulps := int32(rng.Intn(16)) - 8
+		b := -math.Float32frombits(uint32(int32(math.Float32bits(a)) + ulps))
+		soft := AddSoft(a, b)
+		hard := a + b
+		if !agree(soft, hard) {
+			t.Fatalf("AddSoft(%x, %x) = %x, hardware %x",
+				math.Float32bits(a), math.Float32bits(b),
+				math.Float32bits(soft), math.Float32bits(hard))
+		}
+	}
+}
+
+// Denormal-range stress for both operators.
+func TestSoftDenormalSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for i := 0; i < 20000; i++ {
+		a := math.Float32frombits(rng.Uint32() & 0x00FFFFFF) // denormal/small normal
+		b := math.Float32frombits(rng.Uint32() & 0x40FFFFFF)
+		if !agree(MulSoft(a, b), a*b) {
+			t.Fatalf("mul mismatch at %x × %x", math.Float32bits(a), math.Float32bits(b))
+		}
+		if !agree(AddSoft(a, b), a+b) {
+			t.Fatalf("add mismatch at %x + %x", math.Float32bits(a), math.Float32bits(b))
+		}
+	}
+}
+
+func TestSoftALUInterface(t *testing.T) {
+	var alu Soft
+	if alu.Mul(3, 4) != 12 || alu.Add(3, 4) != 7 {
+		t.Error("Soft ALU arithmetic wrong")
+	}
+}

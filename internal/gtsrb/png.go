@@ -1,0 +1,88 @@
+package gtsrb
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+
+	"repro/internal/tensor"
+)
+
+// ToImage converts a 3×H×W tensor with values in [0,1] to an image.Image
+// (values are clamped).
+func ToImage(img *tensor.Tensor) (image.Image, error) {
+	if img.Rank() != 3 || img.Dim(0) != 3 {
+		return nil, fmt.Errorf("gtsrb: ToImage needs a 3×H×W tensor, got %v", img.Shape())
+	}
+	h, w := img.Dim(1), img.Dim(2)
+	out := image.NewRGBA(image.Rect(0, 0, w, h))
+	to8 := func(v float32) uint8 {
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		return uint8(v*255 + 0.5)
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			out.SetRGBA(x, y, color.RGBA{
+				R: to8(img.At3(0, y, x)),
+				G: to8(img.At3(1, y, x)),
+				B: to8(img.At3(2, y, x)),
+				A: 255,
+			})
+		}
+	}
+	return out, nil
+}
+
+// WritePNG encodes a 3×H×W tensor as PNG.
+func WritePNG(img *tensor.Tensor, w io.Writer) error {
+	im, err := ToImage(img)
+	if err != nil {
+		return err
+	}
+	if err := png.Encode(w, im); err != nil {
+		return fmt.Errorf("gtsrb: png encode: %w", err)
+	}
+	return nil
+}
+
+// FromImage converts an image.Image to a 3×H×W tensor with values in [0,1],
+// so externally supplied pictures can be pushed through the hybrid pipeline.
+func FromImage(im image.Image) (*tensor.Tensor, error) {
+	if im == nil {
+		return nil, fmt.Errorf("gtsrb: FromImage needs an image")
+	}
+	b := im.Bounds()
+	h, w := b.Dy(), b.Dx()
+	if h < 1 || w < 1 {
+		return nil, fmt.Errorf("gtsrb: empty image bounds %v", b)
+	}
+	out, err := tensor.New(3, h, w)
+	if err != nil {
+		return nil, err
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			r, g, bl, _ := im.At(b.Min.X+x, b.Min.Y+y).RGBA()
+			out.Set3(float32(r)/0xFFFF, 0, y, x)
+			out.Set3(float32(g)/0xFFFF, 1, y, x)
+			out.Set3(float32(bl)/0xFFFF, 2, y, x)
+		}
+	}
+	return out, nil
+}
+
+// ReadPNG decodes a PNG into a 3×H×W tensor.
+func ReadPNG(r io.Reader) (*tensor.Tensor, error) {
+	im, err := png.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("gtsrb: png decode: %w", err)
+	}
+	return FromImage(im)
+}

@@ -1,0 +1,231 @@
+// Package gtsrb generates a synthetic stand-in for the German Traffic Sign
+// Recognition Benchmark used by the paper. Real GTSRB photographs are not
+// redistributable inside this repository, so the generator rasterises the
+// geometric/colour structure the paper's argument actually relies on: a
+// "Stop" sign is a red octagon — "it contains redundant information
+// including the shape", and "any shape recognised by a CNN is not a Stop
+// sign unless the shape has been confirmed as octagonal".
+//
+// Signs are rendered as anti-aliased convex shapes (octagon, triangle,
+// circle, square) with randomised position, scale, in-plane rotation,
+// out-of-plane tilt (the "slightly angled" sign of Figure 3), brightness and
+// pixel noise, on cluttered backgrounds. All randomness comes from
+// caller-provided *rand.Rand values.
+package gtsrb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// RGB is a colour with components in [0, 1].
+type RGB struct {
+	R, G, B float32
+}
+
+// SignShape is the geometric outline of a sign face.
+type SignShape int
+
+// Supported sign outlines.
+const (
+	ShapeOctagon SignShape = iota + 1
+	ShapeTriangleDown
+	ShapeTriangleUp
+	ShapeCircle
+	ShapeSquare
+)
+
+// String implements fmt.Stringer.
+func (s SignShape) String() string {
+	switch s {
+	case ShapeOctagon:
+		return "octagon"
+	case ShapeTriangleDown:
+		return "triangle-down"
+	case ShapeTriangleUp:
+		return "triangle-up"
+	case ShapeCircle:
+		return "circle"
+	case ShapeSquare:
+		return "square"
+	default:
+		return fmt.Sprintf("shape(%d)", int(s))
+	}
+}
+
+// sides returns the polygon vertex count (0 for a circle) and the base
+// angular offset that puts the shape in its canonical orientation.
+func (s SignShape) sides() (k int, offset float64) {
+	switch s {
+	case ShapeOctagon:
+		// Flat-top octagon: vertices offset by π/8 from the x-axis.
+		return 8, math.Pi / 8
+	case ShapeTriangleDown:
+		return 3, math.Pi / 2 // one vertex pointing down (+y is down)
+	case ShapeTriangleUp:
+		return 3, -math.Pi / 2
+	case ShapeSquare:
+		return 4, math.Pi / 4 // axis-aligned square
+	default:
+		return 0, 0
+	}
+}
+
+// SignParams fully determines one rendered sign. Deterministic given the
+// params and the rng used for noise.
+type SignParams struct {
+	Shape SignShape
+	Fill  RGB
+	// Size is the square image side in pixels.
+	Size int
+	// CenterX, CenterY are the sign centre in pixels.
+	CenterX, CenterY float64
+	// Radius is the circumradius in pixels.
+	Radius float64
+	// Rotation is the in-plane rotation in radians.
+	Rotation float64
+	// Tilt is the out-of-plane viewing angle in radians: the sign's x
+	// extent is foreshortened by cos(Tilt), producing the "slightly
+	// angled" sign of Figure 3.
+	Tilt float64
+	// Background is the base background luminance in [0,1].
+	Background float32
+	// NoiseSigma is the per-pixel Gaussian noise standard deviation.
+	NoiseSigma float32
+	// Brightness multiplies the final image.
+	Brightness float32
+	// Clutter adds this many random dim rectangles behind the sign.
+	Clutter int
+}
+
+// Validate checks the parameters.
+func (p SignParams) Validate() error {
+	if p.Size < 8 {
+		return fmt.Errorf("gtsrb: image size %d too small", p.Size)
+	}
+	if p.Radius <= 0 {
+		return fmt.Errorf("gtsrb: radius %v must be positive", p.Radius)
+	}
+	if p.Shape < ShapeOctagon || p.Shape > ShapeSquare {
+		return fmt.Errorf("gtsrb: unknown shape %d", int(p.Shape))
+	}
+	return nil
+}
+
+// inside reports whether the (possibly tilted, rotated) shape contains the
+// point (x, y) in image coordinates.
+func (p SignParams) inside(x, y float64) bool {
+	// Undo tilt (x foreshortening) and rotation to test in canonical space.
+	dx := x - p.CenterX
+	dy := y - p.CenterY
+	ct := math.Cos(p.Tilt)
+	if ct < 0.1 {
+		ct = 0.1
+	}
+	dx /= ct
+	sin, cos := math.Sincos(-p.Rotation)
+	rx := dx*cos - dy*sin
+	ry := dx*sin + dy*cos
+
+	k, off := p.Shape.sides()
+	if k == 0 { // circle
+		return rx*rx+ry*ry <= p.Radius*p.Radius
+	}
+	// Convex polygon: the point is inside iff it is on the inner side of
+	// every edge. Vertices in canonical orientation.
+	prevX := p.Radius * math.Cos(off)
+	prevY := p.Radius * math.Sin(off)
+	for i := 1; i <= k; i++ {
+		a := off + 2*math.Pi*float64(i)/float64(k)
+		vx := p.Radius * math.Cos(a)
+		vy := p.Radius * math.Sin(a)
+		// Cross product (edge × point-relative-to-edge-start).
+		cross := (vx-prevX)*(ry-prevY) - (vy-prevY)*(rx-prevX)
+		if cross < 0 {
+			return false
+		}
+		prevX, prevY = vx, vy
+	}
+	return true
+}
+
+// Render rasterises the sign into a 3×Size×Size tensor with 2×2
+// supersampled anti-aliasing. rng supplies background clutter and pixel
+// noise only; geometry is fully determined by the params.
+func Render(p SignParams, rng *rand.Rand) (*tensor.Tensor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("gtsrb: render needs an rng (pass a seeded rand.New)")
+	}
+	img := tensor.MustNew(3, p.Size, p.Size)
+	// Background.
+	for y := 0; y < p.Size; y++ {
+		for x := 0; x < p.Size; x++ {
+			for c := 0; c < 3; c++ {
+				img.Set3(p.Background, c, y, x)
+			}
+		}
+	}
+	// Clutter rectangles (dim, behind the sign).
+	for i := 0; i < p.Clutter; i++ {
+		rw := 2 + rng.Intn(p.Size/3)
+		rh := 2 + rng.Intn(p.Size/3)
+		rx := rng.Intn(p.Size)
+		ry := rng.Intn(p.Size)
+		col := RGB{
+			R: p.Background + 0.15*rng.Float32(),
+			G: p.Background + 0.15*rng.Float32(),
+			B: p.Background + 0.15*rng.Float32(),
+		}
+		for y := ry; y < ry+rh && y < p.Size; y++ {
+			for x := rx; x < rx+rw && x < p.Size; x++ {
+				img.Set3(col.R, 0, y, x)
+				img.Set3(col.G, 1, y, x)
+				img.Set3(col.B, 2, y, x)
+			}
+		}
+	}
+	// Sign with 2×2 supersampling.
+	sub := [2]float64{0.25, 0.75}
+	for y := 0; y < p.Size; y++ {
+		for x := 0; x < p.Size; x++ {
+			hits := 0
+			for _, sy := range sub {
+				for _, sx := range sub {
+					if p.inside(float64(x)+sx, float64(y)+sy) {
+						hits++
+					}
+				}
+			}
+			if hits == 0 {
+				continue
+			}
+			a := float32(hits) / 4
+			img.Set3(img.At3(0, y, x)*(1-a)+p.Fill.R*a, 0, y, x)
+			img.Set3(img.At3(1, y, x)*(1-a)+p.Fill.G*a, 1, y, x)
+			img.Set3(img.At3(2, y, x)*(1-a)+p.Fill.B*a, 2, y, x)
+		}
+	}
+	// Brightness and noise, clamped to [0,1].
+	bright := p.Brightness
+	if bright == 0 {
+		bright = 1
+	}
+	data := img.Data()
+	for i := range data {
+		v := data[i]*bright + p.NoiseSigma*float32(rng.NormFloat64())
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		data[i] = v
+	}
+	return img, nil
+}

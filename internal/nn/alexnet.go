@@ -1,0 +1,220 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// AlexNetInputSize is the spatial input size of the original AlexNet
+// (227×227×3), which the paper selects because shape determination "requires
+// an appreciable image size with a clearly definable edge" — "a barely
+// acceptable [size] for deterministic edge recognition".
+const AlexNetInputSize = 227
+
+// AlexNetConv1Filters is the first convolution layer's filter count: "the
+// first convolution layer of the AlexNet reduces the input using 96 11*11*3
+// filters".
+const AlexNetConv1Filters = 96
+
+// NewAlexNet builds the full AlexNet architecture (Krizhevsky et al. 2017
+// single-tower variant, i.e. without the two-GPU channel grouping) for the
+// given class count. With ~60 M parameters it exists to give the benchmarks
+// and the hybrid partition the paper's exact first-layer workload; the
+// trainable experiments use NewMicroAlexNet.
+func NewAlexNet(classes int, rng *rand.Rand) (*Sequential, error) {
+	if classes < 2 {
+		return nil, fmt.Errorf("nn: alexnet needs >= 2 classes, got %d", classes)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("nn: alexnet needs an rng")
+	}
+	conv1, err := NewConv2D("conv1", 3, AlexNetConv1Filters, 11, 4, 0, rng)
+	if err != nil {
+		return nil, err
+	}
+	conv2, err := NewConv2D("conv2", 96, 256, 5, 1, 2, rng)
+	if err != nil {
+		return nil, err
+	}
+	conv3, err := NewConv2D("conv3", 256, 384, 3, 1, 1, rng)
+	if err != nil {
+		return nil, err
+	}
+	conv4, err := NewConv2D("conv4", 384, 384, 3, 1, 1, rng)
+	if err != nil {
+		return nil, err
+	}
+	conv5, err := NewConv2D("conv5", 384, 256, 3, 1, 1, rng)
+	if err != nil {
+		return nil, err
+	}
+	pool1, err := NewMaxPool2D("pool1", 3, 2)
+	if err != nil {
+		return nil, err
+	}
+	pool2, err := NewMaxPool2D("pool2", 3, 2)
+	if err != nil {
+		return nil, err
+	}
+	pool5, err := NewMaxPool2D("pool5", 3, 2)
+	if err != nil {
+		return nil, err
+	}
+	// 227 → conv1(11,4) → 55 → pool 27 → conv2 27 → pool 13 → conv3/4/5 13
+	// → pool5 6 → 256·6·6 = 9216.
+	fc6, err := NewDense("fc6", 256*6*6, 4096, rng)
+	if err != nil {
+		return nil, err
+	}
+	fc7, err := NewDense("fc7", 4096, 4096, rng)
+	if err != nil {
+		return nil, err
+	}
+	fc8, err := NewDense("fc8", 4096, classes, rng)
+	if err != nil {
+		return nil, err
+	}
+	drop6, err := NewDropout("drop6", 0.5, rng)
+	if err != nil {
+		return nil, err
+	}
+	drop7, err := NewDropout("drop7", 0.5, rng)
+	if err != nil {
+		return nil, err
+	}
+	return NewSequential("alexnet",
+		conv1, NewReLU("relu1"), NewAlexNetLRN("lrn1"), pool1,
+		conv2, NewReLU("relu2"), NewAlexNetLRN("lrn2"), pool2,
+		conv3, NewReLU("relu3"),
+		conv4, NewReLU("relu4"),
+		conv5, NewReLU("relu5"), pool5,
+		NewFlatten("flatten"),
+		fc6, NewReLU("relu6"), drop6,
+		fc7, NewReLU("relu7"), drop7,
+		fc8,
+	)
+}
+
+// MicroConfig parameterises the scaled-down AlexNet used by the trainable
+// experiments (Figure 4, the freeze studies and the hybrid integration
+// tests). The architecture mirrors AlexNet's conv→LRN→pool→conv→pool→fc
+// skeleton at dataset scale.
+type MicroConfig struct {
+	// InputSize is the square input side (default 32).
+	InputSize int
+	// Conv1Filters is the first layer's filter count — the population the
+	// Figure 4 sweep replaces one at a time (default 16).
+	Conv1Filters int
+	// Conv1Kernel is the first layer's kernel side (default 5, odd so a
+	// Sobel kernel embeds exactly).
+	Conv1Kernel int
+	// Conv2Filters is the second layer's filter count (default 16).
+	Conv2Filters int
+	// Hidden is the fully connected hidden width (default 48).
+	Hidden int
+	// Classes is the output class count (default 6).
+	Classes int
+	// UseLRN inserts the AlexNet LRN after conv1 (default true via
+	// NewMicroAlexNet; set explicitly in the struct).
+	UseLRN bool
+}
+
+// DefaultMicroConfig returns the configuration used by the experiments.
+func DefaultMicroConfig() MicroConfig {
+	return MicroConfig{
+		InputSize:    32,
+		Conv1Filters: 16,
+		Conv1Kernel:  5,
+		Conv2Filters: 16,
+		Hidden:       48,
+		Classes:      6,
+		UseLRN:       true,
+	}
+}
+
+// Validate checks the configuration and computes the flattened size.
+func (c MicroConfig) Validate() (flat int, err error) {
+	if c.InputSize < 12 {
+		return 0, fmt.Errorf("nn: micro input size %d too small", c.InputSize)
+	}
+	if c.Conv1Filters < 1 || c.Conv2Filters < 1 {
+		return 0, fmt.Errorf("nn: micro filter counts must be >= 1")
+	}
+	if c.Conv1Kernel < 3 || c.Conv1Kernel%2 == 0 {
+		return 0, fmt.Errorf("nn: micro conv1 kernel %d must be odd and >= 3", c.Conv1Kernel)
+	}
+	if c.Hidden < 1 {
+		return 0, fmt.Errorf("nn: micro hidden width must be >= 1")
+	}
+	if c.Classes < 2 {
+		return 0, fmt.Errorf("nn: micro needs >= 2 classes")
+	}
+	s1 := c.InputSize - c.Conv1Kernel + 1 // conv1 stride 1, no pad
+	p1 := s1 / 2                          // pool 2/2
+	s2 := p1 - 3 + 1                      // conv2 3×3
+	p2 := s2 / 2
+	if p2 < 1 {
+		return 0, fmt.Errorf("nn: micro input size %d too small for the architecture", c.InputSize)
+	}
+	return c.Conv2Filters * p2 * p2, nil
+}
+
+// NewMicroAlexNet builds the scaled AlexNet. Layer indices (with UseLRN):
+// 0 conv1, 1 relu, 2 lrn, 3 pool, 4 conv2, 5 relu, 6 pool, 7 flatten,
+// 8 fc1, 9 relu, 10 fc2.
+func NewMicroAlexNet(cfg MicroConfig, rng *rand.Rand) (*Sequential, error) {
+	flat, err := cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("nn: micro alexnet needs an rng")
+	}
+	conv1, err := NewConv2D("conv1", 3, cfg.Conv1Filters, cfg.Conv1Kernel, 1, 0, rng)
+	if err != nil {
+		return nil, err
+	}
+	conv2, err := NewConv2D("conv2", cfg.Conv1Filters, cfg.Conv2Filters, 3, 1, 0, rng)
+	if err != nil {
+		return nil, err
+	}
+	pool1, err := NewMaxPool2D("pool1", 2, 2)
+	if err != nil {
+		return nil, err
+	}
+	pool2, err := NewMaxPool2D("pool2", 2, 2)
+	if err != nil {
+		return nil, err
+	}
+	fc1, err := NewDense("fc1", flat, cfg.Hidden, rng)
+	if err != nil {
+		return nil, err
+	}
+	fc2, err := NewDense("fc2", cfg.Hidden, cfg.Classes, rng)
+	if err != nil {
+		return nil, err
+	}
+	layers := []Layer{conv1, NewReLU("relu1")}
+	if cfg.UseLRN {
+		layers = append(layers, NewAlexNetLRN("lrn1"))
+	}
+	layers = append(layers,
+		pool1,
+		conv2, NewReLU("relu2"), pool2,
+		NewFlatten("flatten"),
+		fc1, NewReLU("relu3"),
+		fc2,
+	)
+	return NewSequential("micro-alexnet", layers...)
+}
+
+// FirstConv returns the network's first Conv2D layer, the object of the
+// paper's filter-replacement and pre-initialisation experiments.
+func FirstConv(net *Sequential) (*Conv2D, error) {
+	for _, l := range net.Layers() {
+		if c, ok := l.(*Conv2D); ok {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("nn: network %q has no convolution layer", net.Name())
+}

@@ -1,0 +1,191 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution layer over CHW inputs with an FCHW weight bank
+// and per-filter bias, the workhorse of AlexNet.
+type Conv2D struct {
+	name       string
+	inC, outC  int
+	k          int // square kernel side
+	stride     int
+	pad        int
+	weight     *tensor.Tensor // (outC, inC, k, k)
+	bias       *tensor.Tensor // (outC)
+	gradW      *tensor.Tensor
+	gradB      *tensor.Tensor
+	lastIn     *tensor.Tensor // forward cache
+	outH, outW int
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// NewConv2D returns a He-initialised convolution layer. rng seeds the
+// weights; it must not be nil.
+func NewConv2D(name string, inC, outC, k, stride, pad int, rng *rand.Rand) (*Conv2D, error) {
+	switch {
+	case inC < 1 || outC < 1:
+		return nil, fmt.Errorf("nn: conv %q channels (%d→%d) must be >= 1", name, inC, outC)
+	case k < 1:
+		return nil, fmt.Errorf("nn: conv %q kernel %d must be >= 1", name, k)
+	case stride < 1:
+		return nil, fmt.Errorf("nn: conv %q stride %d must be >= 1", name, stride)
+	case pad < 0:
+		return nil, fmt.Errorf("nn: conv %q pad %d must be >= 0", name, pad)
+	case rng == nil:
+		return nil, fmt.Errorf("nn: conv %q needs an rng", name)
+	}
+	w, err := tensor.New(outC, inC, k, k)
+	if err != nil {
+		return nil, err
+	}
+	w.FillHe(rng, inC*k*k)
+	b, err := tensor.New(outC)
+	if err != nil {
+		return nil, err
+	}
+	return &Conv2D{
+		name: name, inC: inC, outC: outC, k: k, stride: stride, pad: pad,
+		weight: w, bias: b,
+		gradW: tensor.MustNew(outC, inC, k, k),
+		gradB: tensor.MustNew(outC),
+	}, nil
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// Weight returns the FCHW weight bank (shared storage — the hybrid network's
+// filter-replacement workflow edits it in place).
+func (c *Conv2D) Weight() *tensor.Tensor { return c.weight }
+
+// Bias returns the bias vector (shared storage).
+func (c *Conv2D) Bias() *tensor.Tensor { return c.bias }
+
+// Filters returns the number of output filters.
+func (c *Conv2D) Filters() int { return c.outC }
+
+// Kernel returns the kernel side length.
+func (c *Conv2D) Kernel() int { return c.k }
+
+// InChannels returns the input channel count.
+func (c *Conv2D) InChannels() int { return c.inC }
+
+// Stride returns the stride.
+func (c *Conv2D) Stride() int { return c.stride }
+
+// Pad returns the padding.
+func (c *Conv2D) Pad() int { return c.pad }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param {
+	return []*Param{
+		{Name: c.name + ".weight", Value: c.weight, Grad: c.gradW},
+		{Name: c.name + ".bias", Value: c.bias, Grad: c.gradB},
+	}
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Rank() != 3 || x.Dim(0) != c.inC {
+		return nil, fmt.Errorf("nn: conv %q wants (%d,H,W) input, got %v", c.name, c.inC, x.Shape())
+	}
+	inH, inW := x.Dim(1), x.Dim(2)
+	if inH+2*c.pad < c.k || inW+2*c.pad < c.k {
+		return nil, fmt.Errorf("nn: conv %q kernel %d does not fit input %dx%d", c.name, c.k, inH, inW)
+	}
+	c.outH = (inH+2*c.pad-c.k)/c.stride + 1
+	c.outW = (inW+2*c.pad-c.k)/c.stride + 1
+	if c.outH < 1 || c.outW < 1 {
+		return nil, fmt.Errorf("nn: conv %q kernel %d does not fit input %dx%d", c.name, c.k, inH, inW)
+	}
+	c.lastIn = x
+	out := tensor.MustNew(c.outC, c.outH, c.outW)
+	in, w, b, od := x.Data(), c.weight.Data(), c.bias.Data(), out.Data()
+	for f := 0; f < c.outC; f++ {
+		fBase := f * c.inC * c.k * c.k
+		for oy := 0; oy < c.outH; oy++ {
+			iy0 := oy*c.stride - c.pad
+			for ox := 0; ox < c.outW; ox++ {
+				ix0 := ox*c.stride - c.pad
+				acc := b[f]
+				for ch := 0; ch < c.inC; ch++ {
+					chBase := ch * inH * inW
+					kBase := fBase + ch*c.k*c.k
+					for ky := 0; ky < c.k; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= inH {
+							continue
+						}
+						row := chBase + iy*inW
+						kRow := kBase + ky*c.k
+						for kx := 0; kx < c.k; kx++ {
+							ix := ix0 + kx
+							if ix >= 0 && ix < inW {
+								acc += in[row+ix] * w[kRow+kx]
+							}
+						}
+					}
+				}
+				od[(f*c.outH+oy)*c.outW+ox] = acc
+			}
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if c.lastIn == nil {
+		return nil, fmt.Errorf("nn: conv %q backward before forward", c.name)
+	}
+	if grad.Rank() != 3 || grad.Dim(0) != c.outC || grad.Dim(1) != c.outH || grad.Dim(2) != c.outW {
+		return nil, fmt.Errorf("nn: conv %q wants (%d,%d,%d) gradient, got %v",
+			c.name, c.outC, c.outH, c.outW, grad.Shape())
+	}
+	x := c.lastIn
+	inH, inW := x.Dim(1), x.Dim(2)
+	dx := tensor.MustNew(c.inC, inH, inW)
+	in, w, g := x.Data(), c.weight.Data(), grad.Data()
+	dw, db, dxd := c.gradW.Data(), c.gradB.Data(), dx.Data()
+	for f := 0; f < c.outC; f++ {
+		fBase := f * c.inC * c.k * c.k
+		for oy := 0; oy < c.outH; oy++ {
+			iy0 := oy*c.stride - c.pad
+			for ox := 0; ox < c.outW; ox++ {
+				gv := g[(f*c.outH+oy)*c.outW+ox]
+				if gv == 0 {
+					continue
+				}
+				ix0 := ox*c.stride - c.pad
+				db[f] += gv
+				for ch := 0; ch < c.inC; ch++ {
+					chBase := ch * inH * inW
+					kBase := fBase + ch*c.k*c.k
+					for ky := 0; ky < c.k; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= inH {
+							continue
+						}
+						row := chBase + iy*inW
+						kRow := kBase + ky*c.k
+						for kx := 0; kx < c.k; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= inW {
+								continue
+							}
+							dw[kRow+kx] += gv * in[row+ix]
+							dxd[row+ix] += gv * w[kRow+kx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx, nil
+}

@@ -1,0 +1,190 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer over flat inputs: y = Wx + b.
+type Dense struct {
+	name    string
+	in, out int
+	weight  *tensor.Tensor // (out, in)
+	bias    *tensor.Tensor // (out)
+	gradW   *tensor.Tensor
+	gradB   *tensor.Tensor
+	lastIn  *tensor.Tensor
+}
+
+var _ Layer = (*Dense)(nil)
+
+// NewDense returns a He-initialised dense layer.
+func NewDense(name string, in, out int, rng *rand.Rand) (*Dense, error) {
+	if in < 1 || out < 1 {
+		return nil, fmt.Errorf("nn: dense %q dims (%d→%d) must be >= 1", name, in, out)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("nn: dense %q needs an rng", name)
+	}
+	w, err := tensor.New(out, in)
+	if err != nil {
+		return nil, err
+	}
+	w.FillHe(rng, in)
+	b, err := tensor.New(out)
+	if err != nil {
+		return nil, err
+	}
+	return &Dense{
+		name: name, in: in, out: out,
+		weight: w, bias: b,
+		gradW: tensor.MustNew(out, in),
+		gradB: tensor.MustNew(out),
+	}, nil
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// Weight returns the (out, in) weight matrix (shared storage).
+func (d *Dense) Weight() *tensor.Tensor { return d.weight }
+
+// Bias returns the bias vector (shared storage).
+func (d *Dense) Bias() *tensor.Tensor { return d.bias }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param {
+	return []*Param{
+		{Name: d.name + ".weight", Value: d.weight, Grad: d.gradW},
+		{Name: d.name + ".bias", Value: d.bias, Grad: d.gradB},
+	}
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Rank() != 1 || x.Dim(0) != d.in {
+		return nil, fmt.Errorf("nn: dense %q wants (%d) input, got %v", d.name, d.in, x.Shape())
+	}
+	d.lastIn = x
+	out := tensor.MustNew(d.out)
+	in, w, b, od := x.Data(), d.weight.Data(), d.bias.Data(), out.Data()
+	for o := 0; o < d.out; o++ {
+		acc := b[o]
+		row := o * d.in
+		for i := 0; i < d.in; i++ {
+			acc += w[row+i] * in[i]
+		}
+		od[o] = acc
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if d.lastIn == nil {
+		return nil, fmt.Errorf("nn: dense %q backward before forward", d.name)
+	}
+	if grad.Rank() != 1 || grad.Dim(0) != d.out {
+		return nil, fmt.Errorf("nn: dense %q wants (%d) gradient, got %v", d.name, d.out, grad.Shape())
+	}
+	dx := tensor.MustNew(d.in)
+	in, w, g := d.lastIn.Data(), d.weight.Data(), grad.Data()
+	dw, db, dxd := d.gradW.Data(), d.gradB.Data(), dx.Data()
+	for o := 0; o < d.out; o++ {
+		gv := g[o]
+		db[o] += gv
+		row := o * d.in
+		if gv == 0 {
+			continue
+		}
+		for i := 0; i < d.in; i++ {
+			dw[row+i] += gv * in[i]
+			dxd[i] += gv * w[row+i]
+		}
+	}
+	return dx, nil
+}
+
+// Dropout zeroes activations with probability Rate during training and is
+// the identity at inference (inverted dropout: surviving activations are
+// scaled by 1/(1−Rate) so inference needs no rescaling).
+type Dropout struct {
+	name     string
+	rate     float32
+	rng      *rand.Rand
+	training bool
+	mask     []float32
+}
+
+var _ Layer = (*Dropout)(nil)
+var _ trainable = (*Dropout)(nil)
+
+// NewDropout returns a dropout layer with drop probability rate in [0, 1).
+func NewDropout(name string, rate float32, rng *rand.Rand) (*Dropout, error) {
+	if rate < 0 || rate >= 1 {
+		return nil, fmt.Errorf("nn: dropout %q rate %v out of [0,1)", name, rate)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("nn: dropout %q needs an rng", name)
+	}
+	return &Dropout{name: name, rate: rate, rng: rng}, nil
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// SetTraining implements the trainable switch.
+func (d *Dropout) SetTraining(on bool) { d.training = on }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if !d.training || d.rate == 0 {
+		d.mask = nil
+		return x, nil
+	}
+	out := x.Clone()
+	data := out.Data()
+	d.mask = make([]float32, len(data))
+	keep := 1 - d.rate
+	inv := 1 / keep
+	for i := range data {
+		if d.rng.Float32() < keep {
+			d.mask[i] = inv
+			data[i] *= inv
+		} else {
+			data[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if d.mask == nil {
+		return grad, nil // inference mode: identity
+	}
+	if grad.Len() != len(d.mask) {
+		return nil, fmt.Errorf("nn: dropout %q gradient length %d != cached %d",
+			d.name, grad.Len(), len(d.mask))
+	}
+	dx := grad.Clone()
+	data := dx.Data()
+	for i, m := range d.mask {
+		data[i] *= m
+	}
+	return dx, nil
+}
+
+// In returns the input width.
+func (d *Dense) In() int { return d.in }
+
+// Out returns the output width.
+func (d *Dense) Out() int { return d.out }
+
+// Rate returns the dropout probability.
+func (d *Dropout) Rate() float32 { return d.rate }

@@ -1,0 +1,180 @@
+// Package nn is the from-scratch CNN framework the reproduction trains and
+// executes hybrid networks with. It provides the layers AlexNet needs
+// (convolution, ReLU, local response normalisation, max pooling, dense,
+// dropout), per-sample forward/backward passes, cross-entropy loss and
+// weight serialisation.
+//
+// Layers operate on single CHW samples (no batch dimension); batching is the
+// trainer's job (internal/train accumulates gradients across a mini-batch).
+// This keeps every layer implementation a direct transcription of its
+// textbook definition — valuable in a dependability context where
+// explainability of the implementation is part of the safety argument.
+package nn
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// Param is one learnable tensor with its gradient accumulator. Gradients are
+// accumulated (+=) by Backward and cleared by ZeroGrad.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is a differentiable module. Forward caches whatever Backward needs;
+// Backward consumes the gradient w.r.t. the layer's output and returns the
+// gradient w.r.t. its input, accumulating parameter gradients as a side
+// effect. Layers are NOT safe for concurrent use (the forward cache is
+// per-layer state).
+type Layer interface {
+	// Name identifies the layer in summaries and serialised models.
+	Name() string
+	// Forward computes the layer output for one CHW (or flat) sample.
+	Forward(x *tensor.Tensor) (*tensor.Tensor, error)
+	// Backward computes the input gradient from the output gradient. It
+	// must be called after Forward with a gradient matching the output
+	// shape.
+	Backward(grad *tensor.Tensor) (*tensor.Tensor, error)
+	// Params returns the layer's learnable parameters (possibly empty).
+	Params() []*Param
+}
+
+// trainable is implemented by layers whose behaviour differs between
+// training and inference (dropout).
+type trainable interface {
+	SetTraining(on bool)
+}
+
+// Sequential chains layers.
+type Sequential struct {
+	name   string
+	layers []Layer
+}
+
+// NewSequential returns a named layer chain.
+func NewSequential(name string, layers ...Layer) (*Sequential, error) {
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("nn: sequential %q needs at least one layer", name)
+	}
+	for i, l := range layers {
+		if l == nil {
+			return nil, fmt.Errorf("nn: sequential %q layer %d is nil", name, i)
+		}
+	}
+	return &Sequential{name: name, layers: layers}, nil
+}
+
+// Name returns the network name.
+func (s *Sequential) Name() string { return s.name }
+
+// Layers returns the underlying layer slice (shared; callers must not
+// mutate it structurally).
+func (s *Sequential) Layers() []Layer { return s.layers }
+
+// Layer returns the i-th layer.
+func (s *Sequential) Layer(i int) (Layer, error) {
+	if i < 0 || i >= len(s.layers) {
+		return nil, fmt.Errorf("nn: layer index %d out of range [0,%d)", i, len(s.layers))
+	}
+	return s.layers[i], nil
+}
+
+// Len returns the number of layers.
+func (s *Sequential) Len() int { return len(s.layers) }
+
+// Forward runs the full chain.
+func (s *Sequential) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	var err error
+	for i, l := range s.layers {
+		x, err = l.Forward(x)
+		if err != nil {
+			return nil, fmt.Errorf("nn: forward layer %d (%s): %w", i, l.Name(), err)
+		}
+	}
+	return x, nil
+}
+
+// ForwardFrom runs the chain starting at layer index from (inclusive). It is
+// the hybrid network's entry point for continuing a classification from the
+// reliably computed DCNN output.
+func (s *Sequential) ForwardFrom(from int, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if from < 0 || from > len(s.layers) {
+		return nil, fmt.Errorf("nn: forward-from index %d out of range [0,%d]", from, len(s.layers))
+	}
+	var err error
+	for i := from; i < len(s.layers); i++ {
+		x, err = s.layers[i].Forward(x)
+		if err != nil {
+			return nil, fmt.Errorf("nn: forward layer %d (%s): %w", i, s.layers[i].Name(), err)
+		}
+	}
+	return x, nil
+}
+
+// Backward propagates the output gradient through the chain in reverse.
+func (s *Sequential) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	var err error
+	for i := len(s.layers) - 1; i >= 0; i-- {
+		grad, err = s.layers[i].Backward(grad)
+		if err != nil {
+			return nil, fmt.Errorf("nn: backward layer %d (%s): %w", i, s.layers[i].Name(), err)
+		}
+	}
+	return grad, nil
+}
+
+// Params returns all learnable parameters in layer order.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, l := range s.layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ParamCount returns the total number of learnable scalars.
+func (s *Sequential) ParamCount() int {
+	n := 0
+	for _, p := range s.Params() {
+		n += p.Value.Len()
+	}
+	return n
+}
+
+// ZeroGrads clears every parameter gradient.
+func (s *Sequential) ZeroGrads() {
+	for _, p := range s.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// SetTraining switches training-dependent layers (dropout) between modes.
+func (s *Sequential) SetTraining(on bool) {
+	for _, l := range s.layers {
+		if t, ok := l.(trainable); ok {
+			t.SetTraining(on)
+		}
+	}
+}
+
+// Summary renders a human-readable table of the network structure.
+func (s *Sequential) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d layers, %d params)\n", s.name, len(s.layers), s.ParamCount())
+	for i, l := range s.layers {
+		n := 0
+		for _, p := range l.Params() {
+			n += p.Value.Len()
+		}
+		fmt.Fprintf(&b, "  %2d  %-14s %8d params\n", i, l.Name(), n)
+	}
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+	"repro/internal/tensor"
+)
+
+// Softmax returns the softmax distribution over a flat logits tensor.
+func Softmax(logits *tensor.Tensor) ([]float32, error) {
+	if logits.Rank() != 1 {
+		return nil, fmt.Errorf("nn: softmax wants a flat logits tensor, got %v", logits.Shape())
+	}
+	probs := make([]float32, logits.Len())
+	if err := mathx.Softmax(probs, logits.Data()); err != nil {
+		return nil, fmt.Errorf("nn: softmax: %w", err)
+	}
+	return probs, nil
+}
+
+// CrossEntropyLoss computes softmax cross-entropy for one sample and the
+// gradient w.r.t. the logits (p − onehot), the combined form that avoids the
+// numerically fragile separate softmax backward.
+func CrossEntropyLoss(logits *tensor.Tensor, label int) (loss float64, grad *tensor.Tensor, err error) {
+	if logits.Rank() != 1 {
+		return 0, nil, fmt.Errorf("nn: loss wants flat logits, got %v", logits.Shape())
+	}
+	n := logits.Len()
+	if label < 0 || label >= n {
+		return 0, nil, fmt.Errorf("nn: label %d out of range [0,%d)", label, n)
+	}
+	probs := make([]float32, n)
+	if err := mathx.Softmax(probs, logits.Data()); err != nil {
+		return 0, nil, fmt.Errorf("nn: loss softmax: %w", err)
+	}
+	p := float64(probs[label])
+	if p < 1e-30 {
+		p = 1e-30
+	}
+	loss = -math.Log(p)
+	grad = tensor.MustNew(n)
+	g := grad.Data()
+	copy(g, probs)
+	g[label] -= 1
+	return loss, grad, nil
+}
+
+// Predict runs a forward pass and returns the class probabilities and the
+// argmax class.
+func Predict(net *Sequential, x *tensor.Tensor) (probs []float32, class int, err error) {
+	logits, err := net.Forward(x)
+	if err != nil {
+		return nil, 0, fmt.Errorf("nn: predict forward: %w", err)
+	}
+	probs, err = Softmax(logits)
+	if err != nil {
+		return nil, 0, err
+	}
+	class = 0
+	best := probs[0]
+	for i, p := range probs {
+		if p > best {
+			best, class = p, i
+		}
+	}
+	return probs, class, nil
+}

@@ -1,0 +1,142 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// LRN is AlexNet's local response normalisation across channels:
+//
+//	y_i = x_i / (k + (α/n)·Σ_{j∈window(i)} x_j²)^β
+//
+// where the window spans n channels centred on i (clipped at the ends).
+type LRN struct {
+	name  string
+	n     int
+	k     float64
+	alpha float64
+	beta  float64
+
+	lastIn *tensor.Tensor
+	denom  []float64 // cached k + (α/n)Σx² per element
+}
+
+var _ Layer = (*LRN)(nil)
+
+// NewLRN returns an LRN layer. AlexNet's published constants are
+// n=5, k=2, α=1e-4, β=0.75.
+func NewLRN(name string, n int, k, alpha, beta float64) (*LRN, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("nn: lrn %q window %d must be >= 1", name, n)
+	}
+	if k < 0 || alpha < 0 || beta <= 0 {
+		return nil, fmt.Errorf("nn: lrn %q constants (k=%v α=%v β=%v) invalid", name, k, alpha, beta)
+	}
+	return &LRN{name: name, n: n, k: k, alpha: alpha, beta: beta}, nil
+}
+
+// NewAlexNetLRN returns an LRN layer with the AlexNet paper's constants.
+func NewAlexNetLRN(name string) *LRN {
+	l, err := NewLRN(name, 5, 2, 1e-4, 0.75)
+	if err != nil {
+		// Unreachable: the constants are valid by construction.
+		panic(err)
+	}
+	return l
+}
+
+// Name implements Layer.
+func (l *LRN) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *LRN) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *LRN) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Rank() != 3 {
+		return nil, fmt.Errorf("nn: lrn %q wants CHW input, got %v", l.name, x.Shape())
+	}
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	l.lastIn = x
+	out := tensor.MustNew(c, h, w)
+	l.denom = make([]float64, c*h*w)
+	in, od := x.Data(), out.Data()
+	half := l.n / 2
+	hw := h * w
+	for pos := 0; pos < hw; pos++ {
+		for ch := 0; ch < c; ch++ {
+			lo := ch - half
+			if lo < 0 {
+				lo = 0
+			}
+			hi := ch + half
+			if hi >= c {
+				hi = c - 1
+			}
+			var ss float64
+			for j := lo; j <= hi; j++ {
+				v := float64(in[j*hw+pos])
+				ss += v * v
+			}
+			d := l.k + l.alpha/float64(l.n)*ss
+			idx := ch*hw + pos
+			l.denom[idx] = d
+			od[idx] = float32(float64(in[idx]) * math.Pow(d, -l.beta))
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer, with the exact derivative:
+//
+//	dx_m = g_m·denom_m^{-β} − (2αβ/n)·x_m·Σ_{i: m∈window(i)} g_i·x_i·denom_i^{-β-1}
+func (l *LRN) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if l.lastIn == nil {
+		return nil, fmt.Errorf("nn: lrn %q backward before forward", l.name)
+	}
+	if !grad.SameShape(l.lastIn) {
+		return nil, fmt.Errorf("nn: lrn %q gradient shape %v != input %v",
+			l.name, grad.Shape(), l.lastIn.Shape())
+	}
+	c, h, w := l.lastIn.Dim(0), l.lastIn.Dim(1), l.lastIn.Dim(2)
+	dx := tensor.MustNew(c, h, w)
+	in, g, dxd := l.lastIn.Data(), grad.Data(), dx.Data()
+	half := l.n / 2
+	hw := h * w
+	scale := 2 * l.alpha * l.beta / float64(l.n)
+	for pos := 0; pos < hw; pos++ {
+		// Precompute g_i · x_i · denom_i^{-β-1} per channel at this pixel.
+		gi := make([]float64, c)
+		for ch := 0; ch < c; ch++ {
+			idx := ch*hw + pos
+			gi[ch] = float64(g[idx]) * float64(in[idx]) * math.Pow(l.denom[idx], -l.beta-1)
+		}
+		for m := 0; m < c; m++ {
+			idx := m*hw + pos
+			direct := float64(g[idx]) * math.Pow(l.denom[idx], -l.beta)
+			// Channels i whose window contains m: |i − m| <= half.
+			lo := m - half
+			if lo < 0 {
+				lo = 0
+			}
+			hi := m + half
+			if hi >= c {
+				hi = c - 1
+			}
+			var cross float64
+			for i := lo; i <= hi; i++ {
+				cross += gi[i]
+			}
+			dxd[idx] = float32(direct - scale*float64(in[idx])*cross)
+		}
+	}
+	return dx, nil
+}
+
+// Window returns the channel window size n.
+func (l *LRN) Window() int { return l.n }
+
+// Constants returns the (k, α, β) constants.
+func (l *LRN) Constants() (k, alpha, beta float64) { return l.k, l.alpha, l.beta }

@@ -1,0 +1,192 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// MaxPool2D is a max-pooling layer over CHW inputs. AlexNet uses overlapping
+// 3×3/stride-2 pooling; the micro networks use 2×2/stride-2.
+type MaxPool2D struct {
+	name   string
+	k      int
+	stride int
+
+	lastShape  []int
+	argmax     []int // linear input index of each output's max
+	outC       int
+	outH, outW int
+}
+
+var _ Layer = (*MaxPool2D)(nil)
+
+// NewMaxPool2D returns a max-pooling layer with a square window.
+func NewMaxPool2D(name string, k, stride int) (*MaxPool2D, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("nn: pool %q window %d must be >= 1", name, k)
+	}
+	if stride < 1 {
+		return nil, fmt.Errorf("nn: pool %q stride %d must be >= 1", name, stride)
+	}
+	return &MaxPool2D{name: name, k: k, stride: stride}, nil
+}
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Rank() != 3 {
+		return nil, fmt.Errorf("nn: pool %q wants CHW input, got %v", p.name, x.Shape())
+	}
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	if h < p.k || w < p.k {
+		return nil, fmt.Errorf("nn: pool %q window %d does not fit input %dx%d", p.name, p.k, h, w)
+	}
+	outH := (h-p.k)/p.stride + 1
+	outW := (w-p.k)/p.stride + 1
+	if outH < 1 || outW < 1 {
+		return nil, fmt.Errorf("nn: pool %q window %d does not fit input %dx%d", p.name, p.k, h, w)
+	}
+	p.lastShape = x.Shape()
+	p.outC, p.outH, p.outW = c, outH, outW
+	out := tensor.MustNew(c, outH, outW)
+	p.argmax = make([]int, c*outH*outW)
+	in, od := x.Data(), out.Data()
+	for ch := 0; ch < c; ch++ {
+		chBase := ch * h * w
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				best := float32(math.Inf(-1))
+				bestIdx := -1
+				for ky := 0; ky < p.k; ky++ {
+					iy := oy*p.stride + ky
+					row := chBase + iy*w
+					for kx := 0; kx < p.k; kx++ {
+						ix := ox*p.stride + kx
+						if v := in[row+ix]; v > best {
+							best = v
+							bestIdx = row + ix
+						}
+					}
+				}
+				oIdx := (ch*outH+oy)*outW + ox
+				od[oIdx] = best
+				p.argmax[oIdx] = bestIdx
+			}
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer: the gradient routes to each window's argmax.
+func (p *MaxPool2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if p.argmax == nil {
+		return nil, fmt.Errorf("nn: pool %q backward before forward", p.name)
+	}
+	if grad.Rank() != 3 || grad.Dim(0) != p.outC || grad.Dim(1) != p.outH || grad.Dim(2) != p.outW {
+		return nil, fmt.Errorf("nn: pool %q wants (%d,%d,%d) gradient, got %v",
+			p.name, p.outC, p.outH, p.outW, grad.Shape())
+	}
+	dx := tensor.MustNew(p.lastShape...)
+	dxd, g := dx.Data(), grad.Data()
+	for i, src := range p.argmax {
+		dxd[src] += g[i]
+	}
+	return dx, nil
+}
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	name string
+	mask []bool
+	dims []int
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	out := x.Clone()
+	d := out.Data()
+	r.mask = make([]bool, len(d))
+	r.dims = x.Shape()
+	for i, v := range d {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			d[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if r.mask == nil {
+		return nil, fmt.Errorf("nn: relu %q backward before forward", r.name)
+	}
+	if grad.Len() != len(r.mask) {
+		return nil, fmt.Errorf("nn: relu %q gradient length %d != cached %d",
+			r.name, grad.Len(), len(r.mask))
+	}
+	dx := grad.Clone()
+	d := dx.Data()
+	for i, on := range r.mask {
+		if !on {
+			d[i] = 0
+		}
+	}
+	return dx, nil
+}
+
+// Flatten reshapes a CHW tensor to a flat vector.
+type Flatten struct {
+	name string
+	dims []int
+}
+
+var _ Layer = (*Flatten)(nil)
+
+// NewFlatten returns a flattening layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.name }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	f.dims = x.Shape()
+	return x.Reshape(x.Len())
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if f.dims == nil {
+		return nil, fmt.Errorf("nn: flatten %q backward before forward", f.name)
+	}
+	return grad.Reshape(f.dims...)
+}
+
+// Kernel returns the pooling window side.
+func (p *MaxPool2D) Kernel() int { return p.k }
+
+// Stride returns the pooling stride.
+func (p *MaxPool2D) Stride() int { return p.stride }

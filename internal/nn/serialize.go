@@ -1,0 +1,112 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/tensor"
+)
+
+// Weight serialisation: a versioned container of named tensors. The format
+// is a counted sequence of (name, HTN1 tensor) records:
+//
+//	magic   [4]byte "HNW1"
+//	count   uint32 LE
+//	record: nameLen uint16 LE, name bytes, tensor (tensor.WriteTo)
+//
+// Loading is by-name into an existing architecture, so a checkpoint can be
+// restored into a freshly constructed network of the same shape.
+
+var weightsMagic = [4]byte{'H', 'N', 'W', '1'}
+
+// SaveWeights writes all parameters of net to w.
+func SaveWeights(net *Sequential, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	params := net.Params()
+	if _, err := bw.Write(weightsMagic[:]); err != nil {
+		return fmt.Errorf("nn: save magic: %w", err)
+	}
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(len(params)))
+	if _, err := bw.Write(b4[:]); err != nil {
+		return fmt.Errorf("nn: save count: %w", err)
+	}
+	for _, p := range params {
+		if len(p.Name) > 0xFFFF {
+			return fmt.Errorf("nn: parameter name %q too long", p.Name[:32])
+		}
+		var b2 [2]byte
+		binary.LittleEndian.PutUint16(b2[:], uint16(len(p.Name)))
+		if _, err := bw.Write(b2[:]); err != nil {
+			return fmt.Errorf("nn: save name length: %w", err)
+		}
+		if _, err := bw.WriteString(p.Name); err != nil {
+			return fmt.Errorf("nn: save name: %w", err)
+		}
+		if _, err := p.Value.WriteTo(bw); err != nil {
+			return fmt.Errorf("nn: save %q: %w", p.Name, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("nn: save flush: %w", err)
+	}
+	return nil
+}
+
+// LoadWeights restores parameters into net by name. Every parameter of net
+// must be present in the stream with a matching shape; extra records in the
+// stream are an error, making drift between checkpoint and architecture
+// loud.
+func LoadWeights(net *Sequential, r io.Reader) error {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return fmt.Errorf("nn: load magic: %w", err)
+	}
+	if m != weightsMagic {
+		return fmt.Errorf("nn: bad weights magic %q", m[:])
+	}
+	var b4 [4]byte
+	if _, err := io.ReadFull(br, b4[:]); err != nil {
+		return fmt.Errorf("nn: load count: %w", err)
+	}
+	count := int(binary.LittleEndian.Uint32(b4[:]))
+	byName := make(map[string]*Param, count)
+	for _, p := range net.Params() {
+		byName[p.Name] = p
+	}
+	if count != len(byName) {
+		return fmt.Errorf("nn: checkpoint has %d parameters, network has %d", count, len(byName))
+	}
+	seen := make(map[string]bool, count)
+	for i := 0; i < count; i++ {
+		var b2 [2]byte
+		if _, err := io.ReadFull(br, b2[:]); err != nil {
+			return fmt.Errorf("nn: load name length: %w", err)
+		}
+		nameLen := int(binary.LittleEndian.Uint16(b2[:]))
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return fmt.Errorf("nn: load name: %w", err)
+		}
+		name := string(nameBuf)
+		t, err := tensor.Read(br)
+		if err != nil {
+			return fmt.Errorf("nn: load %q: %w", name, err)
+		}
+		p, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("nn: checkpoint parameter %q not in network", name)
+		}
+		if seen[name] {
+			return fmt.Errorf("nn: duplicate checkpoint parameter %q", name)
+		}
+		seen[name] = true
+		if err := p.Value.CopyFrom(t); err != nil {
+			return fmt.Errorf("nn: load %q: %w", name, err)
+		}
+	}
+	return nil
+}

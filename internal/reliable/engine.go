@@ -1,0 +1,117 @@
+package reliable
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBucketTripped is returned when the leaky-bucket error counter reaches
+// its ceiling: errors are persistent and the execution is declared failed.
+// Per the paper, "only persistent failures are explicitly reported".
+var ErrBucketTripped = errors.New("reliable: error counter reached ceiling, execution failed")
+
+// Stats counts the work performed by an Engine. Attempt counts include
+// re-executions, so Ops − (OKs of the bucket) is the wasted work.
+type Stats struct {
+	// Ops is the number of operation attempts (each retry counts again).
+	Ops uint64
+	// Failed is the number of attempts whose qualifier was false.
+	Failed uint64
+	// Retries is the number of rollback/re-execution events (always
+	// ≤ Failed; the final failed attempt before a bucket trip does not
+	// retry).
+	Retries uint64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Ops += other.Ops
+	s.Failed += other.Failed
+	s.Retries += other.Retries
+}
+
+// Engine executes overloaded operations under the Algorithm 3 protocol:
+// every operation is assumed to have failed unless its qualifier asserts
+// otherwise; a failed operation raises the leaky bucket by its factor and —
+// if the bucket has not tripped — is retried (the rollback distance is one
+// operation); a correct operation drains the bucket by one.
+//
+// Engine is not safe for concurrent use; create one per goroutine.
+type Engine struct {
+	ops    Ops
+	bucket *LeakyBucket
+	stats  Stats
+}
+
+// NewEngine returns an engine executing via ops and accounting errors in
+// bucket. A nil bucket gets the paper's default (factor 2, ceiling 3).
+func NewEngine(ops Ops, bucket *LeakyBucket) (*Engine, error) {
+	if ops == nil {
+		return nil, fmt.Errorf("reliable: engine needs ops")
+	}
+	if bucket == nil {
+		bucket = NewDefaultBucket()
+	}
+	return &Engine{ops: ops, bucket: bucket}, nil
+}
+
+// Mul executes a reliable multiplication (retry + bucket protocol). The
+// retry loop is written out inline (rather than through a closure) because
+// this is the innermost statement of every convolution the DCNN executes.
+func (e *Engine) Mul(a, b float32) (float32, error) {
+	for {
+		v, ok := e.ops.Mul(a, b)
+		e.stats.Ops++
+		if ok {
+			e.bucket.OK()
+			return v, nil
+		}
+		e.stats.Failed++
+		if e.bucket.Fail() {
+			return 0, fmt.Errorf("after %d attempts (%d failed): %w",
+				e.stats.Ops, e.stats.Failed, ErrBucketTripped)
+		}
+		e.stats.Retries++
+	}
+}
+
+// Add executes a reliable addition (retry + bucket protocol).
+func (e *Engine) Add(a, b float32) (float32, error) {
+	for {
+		v, ok := e.ops.Add(a, b)
+		e.stats.Ops++
+		if ok {
+			e.bucket.OK()
+			return v, nil
+		}
+		e.stats.Failed++
+		if e.bucket.Fail() {
+			return 0, fmt.Errorf("after %d attempts (%d failed): %w",
+				e.stats.Ops, e.stats.Failed, ErrBucketTripped)
+		}
+		e.stats.Retries++
+	}
+}
+
+// MAC executes acc + a*b as two reliable operations, the inner step of the
+// convolution kernel of Algorithm 3.
+func (e *Engine) MAC(acc, a, b float32) (float32, error) {
+	p, err := e.Mul(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return e.Add(acc, p)
+}
+
+// Stats returns the accumulated work counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Bucket returns the engine's error counter (shared, live view).
+func (e *Engine) Bucket() *LeakyBucket { return e.bucket }
+
+// Ops returns the operator variant the engine executes with.
+func (e *Engine) Ops() Ops { return e.ops }
+
+// ResetStats clears the work counters (the bucket is left untouched; use
+// Bucket().Reset() to drain it).
+func (e *Engine) ResetStats() { e.stats = Stats{} }

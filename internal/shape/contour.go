@@ -1,0 +1,378 @@
+package shape
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Point is an integer pixel coordinate (x right, y down).
+type Point struct {
+	X, Y int
+}
+
+// Binarize thresholds a grayscale image: pixels > thresh become 1, the rest
+// 0.
+func Binarize(gray *tensor.Tensor, thresh float32) (*tensor.Tensor, error) {
+	if gray.Rank() != 2 {
+		return nil, fmt.Errorf("shape: binarize needs rank-2 image, got rank %d", gray.Rank())
+	}
+	out := gray.Clone()
+	out.Apply(func(v float32) float32 {
+		if v > thresh {
+			return 1
+		}
+		return 0
+	})
+	return out, nil
+}
+
+// OtsuThreshold computes Otsu's optimal global threshold of a grayscale
+// image whose values lie in [0, 1], using a 256-bin histogram. It makes the
+// qualifier robust to the brightness variation of the synthetic dataset.
+func OtsuThreshold(gray *tensor.Tensor) (float32, error) {
+	if gray.Rank() != 2 {
+		return 0, fmt.Errorf("shape: otsu needs rank-2 image, got rank %d", gray.Rank())
+	}
+	const bins = 256
+	var hist [bins]int
+	data := gray.Data()
+	if len(data) == 0 {
+		return 0, fmt.Errorf("shape: otsu of empty image")
+	}
+	for _, v := range data {
+		b := int(v * (bins - 1))
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		hist[b]++
+	}
+	total := len(data)
+	var sumAll float64
+	for i, c := range hist {
+		sumAll += float64(i) * float64(c)
+	}
+	var sumB, wB float64
+	bestVar, bestT := -1.0, 0
+	for t := 0; t < bins; t++ {
+		wB += float64(hist[t])
+		if wB == 0 {
+			continue
+		}
+		wF := float64(total) - wB
+		if wF == 0 {
+			break
+		}
+		sumB += float64(t) * float64(hist[t])
+		mB := sumB / wB
+		mF := (sumAll - sumB) / wF
+		between := wB * wF * (mB - mF) * (mB - mF)
+		if between > bestVar {
+			bestVar = between
+			bestT = t
+		}
+	}
+	// Split in the middle of the winning bin so that values quantised into
+	// bin bestT land strictly below the threshold.
+	return (float32(bestT) + 0.5) / (bins - 1), nil
+}
+
+// LargestComponent returns a mask containing only the largest 4-connected
+// component of nonzero pixels in the binary image, together with its pixel
+// count. It isolates the sign blob from background clutter.
+func LargestComponent(bin *tensor.Tensor) (*tensor.Tensor, int, error) {
+	if bin.Rank() != 2 {
+		return nil, 0, fmt.Errorf("shape: components need rank-2 image, got rank %d", bin.Rank())
+	}
+	h, w := bin.Dim(0), bin.Dim(1)
+	labels := make([]int, h*w)
+	next := 0
+	bestLabel, bestSize := -1, 0
+	var queue []int
+	for start := 0; start < h*w; start++ {
+		if bin.Data()[start] == 0 || labels[start] != 0 {
+			continue
+		}
+		next++
+		size := 0
+		queue = append(queue[:0], start)
+		labels[start] = next
+		for len(queue) > 0 {
+			p := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			size++
+			py, px := p/w, p%w
+			for _, d := range [4][2]int{{0, 1}, {0, -1}, {1, 0}, {-1, 0}} {
+				ny, nx := py+d[0], px+d[1]
+				if ny < 0 || ny >= h || nx < 0 || nx >= w {
+					continue
+				}
+				q := ny*w + nx
+				if bin.Data()[q] != 0 && labels[q] == 0 {
+					labels[q] = next
+					queue = append(queue, q)
+				}
+			}
+		}
+		if size > bestSize {
+			bestSize, bestLabel = size, next
+		}
+	}
+	out := tensor.MustNew(h, w)
+	if bestLabel < 0 {
+		return out, 0, nil
+	}
+	for i, l := range labels {
+		if l == bestLabel {
+			out.Data()[i] = 1
+		}
+	}
+	return out, bestSize, nil
+}
+
+// Centroid returns the centre of mass of the nonzero pixels of a binary
+// mask. It returns an error if the mask is empty.
+func Centroid(mask *tensor.Tensor) (cx, cy float64, err error) {
+	if mask.Rank() != 2 {
+		return 0, 0, fmt.Errorf("shape: centroid needs rank-2 mask, got rank %d", mask.Rank())
+	}
+	h, w := mask.Dim(0), mask.Dim(1)
+	var sx, sy, n float64
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if mask.At(y, x) != 0 {
+				sx += float64(x)
+				sy += float64(y)
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0, 0, fmt.Errorf("shape: centroid of empty mask")
+	}
+	return sx / n, sy / n, nil
+}
+
+// mooreOffsets are the 8-neighbourhood in clockwise order starting east.
+var mooreOffsets = [8][2]int{
+	{1, 0}, {1, 1}, {0, 1}, {-1, 1}, {-1, 0}, {-1, -1}, {0, -1}, {1, -1},
+}
+
+// BoundaryTrace returns the closed outer boundary of the largest blob in a
+// binary mask using Moore-neighbour tracing with Jacob's stopping criterion.
+// The mask should contain a single component (use LargestComponent first).
+func BoundaryTrace(mask *tensor.Tensor) ([]Point, error) {
+	if mask.Rank() != 2 {
+		return nil, fmt.Errorf("shape: boundary trace needs rank-2 mask, got rank %d", mask.Rank())
+	}
+	h, w := mask.Dim(0), mask.Dim(1)
+	at := func(x, y int) bool {
+		return x >= 0 && x < w && y >= 0 && y < h && mask.At(y, x) != 0
+	}
+	// Find the top-most, left-most foreground pixel (raster scan order).
+	startX, startY := -1, -1
+scan:
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if at(x, y) {
+				startX, startY = x, y
+				break scan
+			}
+		}
+	}
+	if startX < 0 {
+		return nil, fmt.Errorf("shape: boundary trace of empty mask")
+	}
+	// Single-pixel blob.
+	alone := true
+	for _, d := range mooreOffsets {
+		if at(startX+d[0], startY+d[1]) {
+			alone = false
+			break
+		}
+	}
+	if alone {
+		return []Point{{startX, startY}}, nil
+	}
+
+	contour := make([]Point, 0, 4*(h+w))
+	cur := Point{startX, startY}
+	contour = append(contour, cur)
+	// The raster scan entered the start pixel from the west; begin the
+	// neighbourhood search there (index 6 is west; start one past it).
+	dir := 6
+	maxSteps := 4 * h * w // safety bound; a contour cannot be longer
+	for step := 0; step < maxSteps; step++ {
+		found := false
+		for i := 0; i < 8; i++ {
+			d := (dir + 1 + i) % 8
+			nx, ny := cur.X+mooreOffsets[d][0], cur.Y+mooreOffsets[d][1]
+			if at(nx, ny) {
+				// Back-track direction: where we came from relative to the
+				// new pixel, so the search resumes just past it.
+				dir = (d + 4) % 8
+				cur = Point{nx, ny}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return contour, nil // isolated after all (defensive)
+		}
+		if cur.X == startX && cur.Y == startY {
+			return contour, nil
+		}
+		contour = append(contour, cur)
+	}
+	return nil, fmt.Errorf("shape: boundary trace did not close after %d steps", maxSteps)
+}
+
+// RadialSeries resamples a closed contour into n centroid-to-edge distances
+// at equally spaced angles — the time series of Figure 3. Angular bins with
+// no contour point are filled by linear interpolation between neighbouring
+// bins; the maximum distance is taken within each bin (the outer edge).
+func RadialSeries(contour []Point, cx, cy float64, n int) ([]float64, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("shape: radial series needs n >= 4, got %d", n)
+	}
+	if len(contour) == 0 {
+		return nil, fmt.Errorf("shape: radial series of empty contour")
+	}
+	series := make([]float64, n)
+	filled := make([]bool, n)
+	for _, p := range contour {
+		dx := float64(p.X) - cx
+		dy := float64(p.Y) - cy
+		theta := math.Atan2(dy, dx)
+		if theta < 0 {
+			theta += 2 * math.Pi
+		}
+		bin := int(theta / (2 * math.Pi) * float64(n))
+		if bin >= n {
+			bin = n - 1
+		}
+		d := math.Hypot(dx, dy)
+		if !filled[bin] || d > series[bin] {
+			series[bin] = d
+			filled[bin] = true
+		}
+	}
+	// Interpolate empty bins (circularly).
+	anyFilled := false
+	for _, f := range filled {
+		if f {
+			anyFilled = true
+			break
+		}
+	}
+	if !anyFilled {
+		return nil, fmt.Errorf("shape: no angular bins filled")
+	}
+	for i := 0; i < n; i++ {
+		if filled[i] {
+			continue
+		}
+		// Nearest filled neighbours left and right (circular).
+		l := i
+		for !filled[(l+n)%n] {
+			l--
+		}
+		r := i
+		for !filled[r%n] {
+			r++
+		}
+		li, ri := (l+n)%n, r%n
+		span := float64(r - l)
+		frac := float64(i-l) / span
+		series[i] = series[li]*(1-frac) + series[ri]*frac
+	}
+	return series, nil
+}
+
+// SmoothCircular applies a centred moving average of the given window
+// (odd, >= 1) to a circular series.
+func SmoothCircular(series []float64, window int) ([]float64, error) {
+	if window < 1 || window%2 == 0 {
+		return nil, fmt.Errorf("shape: smoothing window %d must be odd and >= 1", window)
+	}
+	n := len(series)
+	if n == 0 {
+		return nil, fmt.Errorf("shape: smoothing empty series")
+	}
+	out := make([]float64, n)
+	half := window / 2
+	for i := 0; i < n; i++ {
+		var s float64
+		for k := -half; k <= half; k++ {
+			s += series[(i+k+n)%n]
+		}
+		out[i] = s / float64(window)
+	}
+	return out, nil
+}
+
+// CountPeaks counts local maxima of a circular series that rise at least
+// minProminence above the series mean, separated by at least minSpacing
+// samples. For the radial series of a regular k-gon this returns k: the
+// paper's Figure 3 notes "the eight corners can be clearly identified".
+func CountPeaks(series []float64, minProminence float64, minSpacing int) (int, error) {
+	n := len(series)
+	if n < 3 {
+		return 0, fmt.Errorf("shape: peak counting needs >= 3 samples, got %d", n)
+	}
+	if minSpacing < 1 {
+		minSpacing = 1
+	}
+	var mean float64
+	for _, v := range series {
+		mean += v
+	}
+	mean /= float64(n)
+
+	type peak struct {
+		idx int
+		val float64
+	}
+	var peaks []peak
+	for i := 0; i < n; i++ {
+		prev := series[(i-1+n)%n]
+		next := series[(i+1)%n]
+		v := series[i]
+		if v >= prev && v > next && v-mean >= minProminence {
+			peaks = append(peaks, peak{i, v})
+		}
+	}
+	// Enforce spacing circularly: greedily keep the highest peaks.
+	kept := make([]peak, 0, len(peaks))
+	for _, p := range peaks {
+		ok := true
+		for j, q := range kept {
+			d := abs(p.idx - q.idx)
+			if d > n/2 {
+				d = n - d
+			}
+			if d < minSpacing {
+				if p.val > q.val {
+					kept[j] = p // replace the weaker peak
+				}
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, p)
+		}
+	}
+	return len(kept), nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,635 @@
+package shape
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestSobel3Kernels(t *testing.T) {
+	kx := SobelX3()
+	if kx.At(1, 0) != -2 || kx.At(1, 2) != 2 || kx.At(0, 1) != 0 {
+		t.Error("SobelX3 entries wrong")
+	}
+	ky := SobelY3()
+	if ky.At(0, 1) != -2 || ky.At(2, 1) != 2 || ky.At(1, 0) != 0 {
+		t.Error("SobelY3 entries wrong")
+	}
+	// Zero DC response: kernel sums to zero.
+	if kx.Sum() != 0 || ky.Sum() != 0 {
+		t.Error("Sobel kernels must sum to zero")
+	}
+}
+
+func TestExtendedSobelProperties(t *testing.T) {
+	for _, n := range []int{3, 5, 7, 11} {
+		kx, err := SobelX(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kx.Dim(0) != n || kx.Dim(1) != n {
+			t.Fatalf("SobelX(%d) shape %v", n, kx.Shape())
+		}
+		if math.Abs(kx.Sum()) > 1e-5 {
+			t.Errorf("SobelX(%d) sum = %v, want 0", n, kx.Sum())
+		}
+		// Antisymmetric in x: k[y][x] = -k[y][n-1-x]; middle column zero.
+		for y := 0; y < n; y++ {
+			if kx.At(y, n/2) != 0 {
+				t.Errorf("SobelX(%d) centre column not zero", n)
+			}
+			for x := 0; x < n; x++ {
+				if kx.At(y, x) != -kx.At(y, n-1-x) {
+					t.Errorf("SobelX(%d) not antisymmetric at (%d,%d)", n, y, x)
+				}
+			}
+		}
+		ky, err := SobelY(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				if ky.At(y, x) != kx.At(x, y) {
+					t.Errorf("SobelY(%d) is not the transpose of SobelX", n)
+				}
+			}
+		}
+	}
+	for _, bad := range []int{2, 4, 1, 0, -3} {
+		if _, err := SobelX(bad); err == nil {
+			t.Errorf("SobelX(%d) should fail", bad)
+		}
+	}
+	if _, err := SobelY(4); err == nil {
+		t.Error("SobelY(4) should fail")
+	}
+}
+
+func TestSobelRespondsToEdges(t *testing.T) {
+	// Vertical step edge: strong Sobel-x response, zero Sobel-y response.
+	img := tensor.MustNew(9, 9)
+	for y := 0; y < 9; y++ {
+		for x := 5; x < 9; x++ {
+			img.Set(1, y, x)
+		}
+	}
+	gx, err := Convolve2D(img, SobelX3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gy, err := Convolve2D(img, SobelY3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gx.At(4, 4) <= 0 {
+		t.Error("Sobel-x should respond to a vertical edge")
+	}
+	if gy.At(4, 4) != 0 {
+		t.Error("Sobel-y should not respond to a vertical edge in the interior")
+	}
+}
+
+func TestGrayscale(t *testing.T) {
+	img := tensor.MustNew(3, 2, 2)
+	img.Set3(1, 0, 0, 0) // pure red pixel
+	g, err := Grayscale(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(g.At(0, 0))-0.299) > 1e-6 {
+		t.Errorf("red luminance = %v, want 0.299", g.At(0, 0))
+	}
+	// Rank-2 passes through as a copy.
+	g2d := tensor.MustFromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	out, err := Grayscale(g2d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(g2d) {
+		t.Error("rank-2 grayscale should be identity")
+	}
+	out.Set(9, 0, 0)
+	if g2d.At(0, 0) == 9 {
+		t.Error("rank-2 grayscale must copy, not alias")
+	}
+	// Single channel.
+	one := tensor.MustNew(1, 2, 2)
+	one.Set3(0.5, 0, 1, 1)
+	out, err = Grayscale(one)
+	if err != nil || out.At(1, 1) != 0.5 {
+		t.Error("1-channel grayscale wrong")
+	}
+	if _, err := Grayscale(tensor.MustNew(2, 2, 2)); err == nil {
+		t.Error("2-channel image should fail")
+	}
+	if _, err := Grayscale(tensor.MustNew(2)); err == nil {
+		t.Error("rank-1 image should fail")
+	}
+}
+
+func TestEdgeMagnitudeRing(t *testing.T) {
+	// A filled square: edge magnitude is large on the border, zero inside.
+	img := tensor.MustNew(16, 16)
+	for y := 4; y < 12; y++ {
+		for x := 4; x < 12; x++ {
+			img.Set(1, y, x)
+		}
+	}
+	em, err := EdgeMagnitude(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em.At(8, 8) != 0 {
+		t.Error("interior should have zero gradient")
+	}
+	if em.At(8, 4) == 0 || em.At(4, 8) == 0 {
+		t.Error("border should have nonzero gradient")
+	}
+}
+
+func TestBinarizeAndOtsu(t *testing.T) {
+	img := tensor.MustFromSlice([]float32{0.1, 0.1, 0.9, 0.9}, 2, 2)
+	th, err := OtsuThreshold(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th < 0.1 || th >= 0.9 {
+		t.Errorf("Otsu threshold %v should separate the two modes", th)
+	}
+	bin, err := Binarize(img, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0, 0, 1, 1}
+	for i, w := range want {
+		if bin.Data()[i] != w {
+			t.Errorf("binarized[%d] = %v, want %v", i, bin.Data()[i], w)
+		}
+	}
+	if _, err := Binarize(tensor.MustNew(2), 0.5); err == nil {
+		t.Error("rank-1 binarize should fail")
+	}
+	if _, err := OtsuThreshold(tensor.MustNew(3)); err == nil {
+		t.Error("rank-1 otsu should fail")
+	}
+	if _, err := OtsuThreshold(tensor.MustNew(0, 0)); err == nil {
+		t.Error("empty otsu should fail")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	img := tensor.MustNew(8, 8)
+	// Small blob: 2 pixels.
+	img.Set(1, 0, 0)
+	img.Set(1, 0, 1)
+	// Large blob: 3×3.
+	for y := 4; y < 7; y++ {
+		for x := 4; x < 7; x++ {
+			img.Set(1, y, x)
+		}
+	}
+	blob, size, err := LargestComponent(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 9 {
+		t.Errorf("largest component size = %d, want 9", size)
+	}
+	if blob.At(0, 0) != 0 {
+		t.Error("small blob should be removed")
+	}
+	if blob.At(5, 5) != 1 {
+		t.Error("large blob should remain")
+	}
+	// Empty image.
+	empty, size, err := LargestComponent(tensor.MustNew(4, 4))
+	if err != nil || size != 0 {
+		t.Errorf("empty component = %d, %v", size, err)
+	}
+	if empty.Sum() != 0 {
+		t.Error("empty mask should be all zeros")
+	}
+	if _, _, err := LargestComponent(tensor.MustNew(4)); err == nil {
+		t.Error("rank-1 should fail")
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	img := tensor.MustNew(5, 5)
+	img.Set(1, 2, 1)
+	img.Set(1, 2, 3)
+	cx, cy, err := Centroid(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cx != 2 || cy != 2 {
+		t.Errorf("centroid = (%v,%v), want (2,2)", cx, cy)
+	}
+	if _, _, err := Centroid(tensor.MustNew(3, 3)); err == nil {
+		t.Error("empty centroid should fail")
+	}
+	if _, _, err := Centroid(tensor.MustNew(3)); err == nil {
+		t.Error("rank-1 centroid should fail")
+	}
+}
+
+func TestBoundaryTraceSquare(t *testing.T) {
+	img := tensor.MustNew(10, 10)
+	for y := 2; y < 8; y++ {
+		for x := 2; x < 8; x++ {
+			img.Set(1, y, x)
+		}
+	}
+	contour, err := BoundaryTrace(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 6×6 square's boundary has 20 pixels.
+	if len(contour) != 20 {
+		t.Errorf("contour length = %d, want 20", len(contour))
+	}
+	for _, p := range contour {
+		onBorder := p.X == 2 || p.X == 7 || p.Y == 2 || p.Y == 7
+		if !onBorder {
+			t.Errorf("contour point %+v not on border", p)
+		}
+	}
+}
+
+func TestBoundaryTraceDegenerate(t *testing.T) {
+	// Single pixel.
+	img := tensor.MustNew(5, 5)
+	img.Set(1, 2, 2)
+	c, err := BoundaryTrace(img)
+	if err != nil || len(c) != 1 {
+		t.Errorf("single-pixel contour = %v, %v", c, err)
+	}
+	// Empty mask.
+	if _, err := BoundaryTrace(tensor.MustNew(5, 5)); err == nil {
+		t.Error("empty trace should fail")
+	}
+	if _, err := BoundaryTrace(tensor.MustNew(5)); err == nil {
+		t.Error("rank-1 trace should fail")
+	}
+}
+
+func TestRadialSeriesCircleIsFlat(t *testing.T) {
+	// Rasterise a disc and check the radial series is nearly constant.
+	const sz = 64
+	img := tensor.MustNew(sz, sz)
+	for y := 0; y < sz; y++ {
+		for x := 0; x < sz; x++ {
+			dx, dy := float64(x-sz/2), float64(y-sz/2)
+			if dx*dx+dy*dy <= 20*20 {
+				img.Set(1, y, x)
+			}
+		}
+	}
+	contour, err := BoundaryTrace(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cx, cy, err := Centroid(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := RadialSeries(contour, cx, cy, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn, mx := series[0], series[0]
+	for _, v := range series {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	if (mx-mn)/mn > 0.1 {
+		t.Errorf("disc radial series not flat: [%v, %v]", mn, mx)
+	}
+}
+
+func TestRadialSeriesValidation(t *testing.T) {
+	if _, err := RadialSeries(nil, 0, 0, 16); err == nil {
+		t.Error("empty contour should fail")
+	}
+	if _, err := RadialSeries([]Point{{1, 1}}, 0, 0, 2); err == nil {
+		t.Error("n < 4 should fail")
+	}
+	// Single point fills one bin; the rest interpolate to the same value.
+	s, err := RadialSeries([]Point{{3, 4}}, 0, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range s {
+		if math.Abs(v-5) > 1e-9 {
+			t.Errorf("interpolated series = %v, want all 5", s)
+		}
+	}
+}
+
+func TestSmoothCircular(t *testing.T) {
+	s, err := SmoothCircular([]float64{1, 0, 0, 0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Circular smoothing spreads the spike across the wrap boundary.
+	want := []float64{1.0 / 3, 1.0 / 3, 0, 1.0 / 3}
+	for i, w := range want {
+		if math.Abs(s[i]-w) > 1e-12 {
+			t.Errorf("smooth[%d] = %v, want %v", i, s[i], w)
+		}
+	}
+	if _, err := SmoothCircular([]float64{1}, 2); err == nil {
+		t.Error("even window should fail")
+	}
+	if _, err := SmoothCircular(nil, 3); err == nil {
+		t.Error("empty series should fail")
+	}
+	id, _ := SmoothCircular([]float64{1, 2}, 1)
+	if id[0] != 1 || id[1] != 2 {
+		t.Error("window 1 should be identity")
+	}
+}
+
+func TestCountPeaksOnAnalyticPolygons(t *testing.T) {
+	for _, k := range []int{3, 4, 8} {
+		series, err := PolygonRadialSeries(k, 128, 1, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean := 0.0
+		mx := series[0]
+		for _, v := range series {
+			mean += v
+			if v > mx {
+				mx = v
+			}
+		}
+		mean /= float64(len(series))
+		peaks, err := CountPeaks(series, 0.25*(mx-mean), 128/20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if peaks != k {
+			t.Errorf("k=%d polygon: counted %d peaks", k, peaks)
+		}
+	}
+	if _, err := CountPeaks([]float64{1, 2}, 0, 1); err == nil {
+		t.Error("short series should fail")
+	}
+}
+
+func TestPolygonRadialSeriesProperties(t *testing.T) {
+	series, err := PolygonRadialSeries(8, 128, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apothem := 2 * math.Cos(math.Pi/8)
+	for _, v := range series {
+		if v < apothem-1e-9 || v > 2+1e-9 {
+			t.Errorf("octagon radius %v out of [apothem=%v, R=2]", v, apothem)
+		}
+	}
+	for _, bad := range []struct{ k, n int }{{2, 64}, {3, 3}} {
+		if _, err := PolygonRadialSeries(bad.k, bad.n, 1, 0); err == nil {
+			t.Errorf("PolygonRadialSeries(%d,%d) should fail", bad.k, bad.n)
+		}
+	}
+	if _, err := PolygonRadialSeries(3, 64, -1, 0); err == nil {
+		t.Error("negative radius should fail")
+	}
+	c, err := CircleRadialSeries(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range c {
+		if v != 3 {
+			t.Error("circle series should be constant")
+		}
+	}
+	if _, err := CircleRadialSeries(2, 1); err == nil {
+		t.Error("n < 4 should fail")
+	}
+	if _, err := CircleRadialSeries(16, 0); err == nil {
+		t.Error("r = 0 should fail")
+	}
+}
+
+func TestQualifierOnAnalyticSeries(t *testing.T) {
+	q, err := NewQualifier(DefaultQualifierConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		k    int
+		want Class
+	}{
+		{3, ClassTriangle}, {4, ClassSquare}, {8, ClassOctagon},
+	}
+	for _, c := range cases {
+		for _, offset := range []float64{0, 0.2, 0.5, 1.0} {
+			series, err := PolygonRadialSeries(c.k, 128, 1, offset)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := q.ClassifySeries(series)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Class != c.want {
+				t.Errorf("k=%d offset=%v: classified %v (peaks=%d dist=%.2f), want %v",
+					c.k, offset, res.Class, res.Peaks, res.WordDist, c.want)
+			}
+		}
+	}
+	circle, _ := CircleRadialSeries(128, 1)
+	res, err := q.ClassifySeries(circle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != ClassCircle {
+		t.Errorf("circle classified as %v", res.Class)
+	}
+}
+
+func TestQualifierSeriesValidation(t *testing.T) {
+	q, err := NewQualifier(DefaultQualifierConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.ClassifySeries(make([]float64, 10)); err == nil {
+		t.Error("wrong-length series should fail")
+	}
+	neg := make([]float64, 128)
+	for i := range neg {
+		neg[i] = -1
+	}
+	if _, err := q.ClassifySeries(neg); err == nil {
+		t.Error("non-positive mean radius should fail")
+	}
+}
+
+func TestQualifierConfigValidation(t *testing.T) {
+	bad := DefaultQualifierConfig()
+	bad.SeriesLen = 4
+	if _, err := NewQualifier(bad); err == nil {
+		t.Error("short series length should fail")
+	}
+	bad = DefaultQualifierConfig()
+	bad.SmoothWindow = 4
+	if _, err := NewQualifier(bad); err == nil {
+		t.Error("even smooth window should fail")
+	}
+	bad = DefaultQualifierConfig()
+	bad.Roundness = 0
+	if _, err := NewQualifier(bad); err == nil {
+		t.Error("zero roundness should fail")
+	}
+	bad = DefaultQualifierConfig()
+	bad.Alphabet = 1
+	if _, err := NewQualifier(bad); err == nil {
+		t.Error("alphabet 1 should fail")
+	}
+}
+
+func TestQualifierTemplatesAndEncoder(t *testing.T) {
+	q, err := NewQualifier(DefaultQualifierConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Encoder() == nil {
+		t.Fatal("encoder missing")
+	}
+	for _, c := range []Class{ClassCircle, ClassTriangle, ClassSquare, ClassOctagon} {
+		w := q.Template(c)
+		if len(w.Symbols) != 16 {
+			t.Errorf("template %v has %d symbols", c, len(w.Symbols))
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for _, c := range []Class{ClassUnknown, ClassCircle, ClassTriangle, ClassSquare, ClassOctagon, Class(42)} {
+		if c.String() == "" {
+			t.Error("empty class string")
+		}
+	}
+}
+
+// Rasterised end-to-end: draw a polygon mask directly and qualify it.
+func rasterPolygon(t *testing.T, k int, rot float64, sz int) *tensor.Tensor {
+	t.Helper()
+	img := tensor.MustNew(sz, sz)
+	r := 0.4 * float64(sz)
+	cx, cy := float64(sz)/2, float64(sz)/2
+	for y := 0; y < sz; y++ {
+		for x := 0; x < sz; x++ {
+			// Inside test via the analytic radial function.
+			dx, dy := float64(x)-cx, float64(y)-cy
+			theta := math.Atan2(dy, dx) - rot
+			sector := 2 * math.Pi / float64(k)
+			a := math.Mod(theta, sector)
+			if a < 0 {
+				a += sector
+			}
+			a -= sector / 2
+			maxR := r * math.Cos(math.Pi/float64(k)) / math.Cos(a)
+			if math.Hypot(dx, dy) <= maxR {
+				img.Set(1, y, x)
+			}
+		}
+	}
+	return img
+}
+
+func TestQualifyImageOnRasterisedShapes(t *testing.T) {
+	q, err := NewQualifier(DefaultQualifierConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		k    int
+		want Class
+	}{{3, ClassTriangle}, {4, ClassSquare}, {8, ClassOctagon}}
+	for _, c := range cases {
+		for _, rot := range []float64{0, 0.15, 0.3} {
+			img := rasterPolygon(t, c.k, rot, 96)
+			res, err := q.QualifyImage(img)
+			if err != nil {
+				t.Fatalf("k=%d rot=%v: %v", c.k, rot, err)
+			}
+			if res.Class != c.want {
+				t.Errorf("k=%d rot=%v: got %v (peaks=%d round=%.3f dist=%.2f), want %v",
+					c.k, rot, res.Class, res.Peaks, res.Round, res.WordDist, c.want)
+			}
+		}
+	}
+}
+
+func TestQualifyImageEmpty(t *testing.T) {
+	q, _ := NewQualifier(DefaultQualifierConfig())
+	res, err := q.QualifyImage(tensor.MustNew(3, 32, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != ClassUnknown {
+		t.Error("empty image should be unknown")
+	}
+}
+
+func TestQualifyEdgeMap(t *testing.T) {
+	q, _ := NewQualifier(DefaultQualifierConfig())
+	img := rasterPolygon(t, 8, 0.2, 96)
+	edges, err := EdgeMagnitude(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.QualifyEdgeMap(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The edge ring of an octagon is itself octagonal.
+	if res.Class != ClassOctagon {
+		t.Errorf("edge-map qualification = %v (peaks=%d round=%.3f), want octagon",
+			res.Class, res.Peaks, res.Round)
+	}
+	if _, err := q.QualifyEdgeMap(tensor.MustNew(3, 8, 8)); err == nil {
+		t.Error("rank-3 edge map should fail")
+	}
+}
+
+func TestConvolve2DValidation(t *testing.T) {
+	if _, err := Convolve2D(tensor.MustNew(3), SobelX3()); err == nil {
+		t.Error("rank-1 image should fail")
+	}
+	if _, err := Convolve2D(tensor.MustNew(3, 3), tensor.MustNew(3)); err == nil {
+		t.Error("rank-1 kernel should fail")
+	}
+}
+
+func TestRadialSeriesRotationShiftsSeries(t *testing.T) {
+	// The radial series of a rotated polygon is (approximately) a circular
+	// shift — the invariance MinRotationHamming relies on.
+	rng := rand.New(rand.NewSource(5))
+	_ = rng
+	base := rasterPolygon(t, 4, 0, 96)
+	rot := rasterPolygon(t, 4, math.Pi/4, 96)
+	q, _ := NewQualifier(DefaultQualifierConfig())
+	r1, err := q.QualifyImage(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := q.QualifyImage(rot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Class != r2.Class {
+		t.Errorf("rotation changed class: %v vs %v", r1.Class, r2.Class)
+	}
+}

@@ -1,0 +1,98 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The binary format is deliberately simple and versioned:
+//
+//	magic   [4]byte  "HTN1"  (Hybrid Tensor, version 1)
+//	rank    uint32   little endian
+//	shape   rank × uint32
+//	data    len × float32 (IEEE-754 bits, little endian)
+//
+// It is used by internal/nn for weight checkpoints and by internal/onnxlite
+// for the weight payload of the platform-agnostic model description.
+
+var magic = [4]byte{'H', 'T', 'N', '1'}
+
+// WriteTo serialises t to w in the HTN1 binary format. It implements
+// io.WriterTo.
+func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	if err := writeAll(w, magic[:], &n); err != nil {
+		return n, fmt.Errorf("tensor: write magic: %w", err)
+	}
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(len(t.shape)))
+	if err := writeAll(w, b4[:], &n); err != nil {
+		return n, fmt.Errorf("tensor: write rank: %w", err)
+	}
+	for _, d := range t.shape {
+		binary.LittleEndian.PutUint32(b4[:], uint32(d))
+		if err := writeAll(w, b4[:], &n); err != nil {
+			return n, fmt.Errorf("tensor: write shape: %w", err)
+		}
+	}
+	buf := make([]byte, 4*len(t.data))
+	for i, x := range t.data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(x))
+	}
+	if err := writeAll(w, buf, &n); err != nil {
+		return n, fmt.Errorf("tensor: write data: %w", err)
+	}
+	return n, nil
+}
+
+func writeAll(w io.Writer, p []byte, n *int64) error {
+	m, err := w.Write(p)
+	*n += int64(m)
+	return err
+}
+
+// maxReadElems bounds a single deserialised tensor at 1 Gi elements so that a
+// corrupt header cannot trigger an enormous allocation.
+const maxReadElems = 1 << 30
+
+// Read deserialises a tensor from r in the HTN1 binary format.
+func Read(r io.Reader) (*Tensor, error) {
+	var m [4]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return nil, fmt.Errorf("tensor: read magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("tensor: bad magic %q", m[:])
+	}
+	var b4 [4]byte
+	if _, err := io.ReadFull(r, b4[:]); err != nil {
+		return nil, fmt.Errorf("tensor: read rank: %w", err)
+	}
+	rank := binary.LittleEndian.Uint32(b4[:])
+	if rank > 16 {
+		return nil, fmt.Errorf("tensor: implausible rank %d", rank)
+	}
+	shape := make([]int, rank)
+	n := 1
+	for i := range shape {
+		if _, err := io.ReadFull(r, b4[:]); err != nil {
+			return nil, fmt.Errorf("tensor: read shape: %w", err)
+		}
+		shape[i] = int(binary.LittleEndian.Uint32(b4[:]))
+		if shape[i] > 0 && n > maxReadElems/shape[i] {
+			return nil, fmt.Errorf("tensor: shape %v too large", shape)
+		}
+		n *= shape[i]
+	}
+	buf := make([]byte, 4*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("tensor: read data: %w", err)
+	}
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return FromSlice(data, shape...)
+}
