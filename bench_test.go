@@ -9,6 +9,7 @@ package repro_test
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -16,6 +17,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/gtsrb"
+	"repro/internal/infer"
 	"repro/internal/nn"
 	"repro/internal/reliable"
 	"repro/internal/shape"
@@ -157,6 +159,83 @@ func BenchmarkAblation_RollbackDistance(b *testing.B) {
 		}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Convolution kernels — naive reference loop vs the im2col/GEMM path the
+// layer refactor introduced, on the paper's exact first AlexNet layer
+// (96 × 11×11×3 over 227×227×3, stride 4).
+
+func convBenchWorkload(b *testing.B) (*nn.Conv2D, *tensor.Tensor) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(20))
+	c, err := nn.NewConv2D("conv1", 3, nn.AlexNetConv1Filters, 11, 4, 0, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.MustNew(3, nn.AlexNetInputSize, nn.AlexNetInputSize)
+	x.FillUniform(rng, 0, 1)
+	return c, x
+}
+
+func BenchmarkConvForward_Naive(b *testing.B) {
+	c, x := convBenchWorkload(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ForwardNaive(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConvForward_Im2col(b *testing.B) {
+	c, x := convBenchWorkload(b)
+	ctx := nn.NewContext()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Forward(ctx, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BatchEngine throughput — shared-weight inference over a worker pool, on
+// an AlexNet-shaped micro network. One benchmark iteration classifies the
+// whole batch; throughput in samples/op scales with workers until the GEMM
+// memory bandwidth saturates.
+
+func BenchmarkBatchEngine_Throughput(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	net, err := nn.NewMicroAlexNet(nn.MicroConfig{
+		InputSize: 32, Conv1Filters: 16, Conv1Kernel: 5,
+		Conv2Filters: 16, Hidden: 48, Classes: 6, UseLRN: true,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 64
+	xs := make([]*tensor.Tensor, batch)
+	for i := range xs {
+		x := tensor.MustNew(3, 32, 32)
+		x.FillUniform(rng, 0, 1)
+		xs[i] = x
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e, err := infer.New(net, infer.Config{Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Predict(xs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "samples/s")
+		})
 	}
 }
 

@@ -234,6 +234,7 @@ func cmdCampaign(args []string) error {
 	trials := fs.Int("trials", 20, "injection trials")
 	modeName := fs.String("mode", "temporal-dmr", "redundancy mode")
 	seed := fs.Int64("seed", 4, "random seed")
+	workers := fs.Int("workers", 0, "parallel trial workers (0 = all cores)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -254,10 +255,14 @@ func cmdCampaign(args []string) error {
 		Pair:          core.SobelPair{XIdx: 0, YIdx: 1},
 		SafetyClasses: map[int]shape.Class{gtsrb.StopClass: shape.ClassOctagon},
 	}
-	var tally fault.Tally
-	aluSeed := *seed
-	for i := 0; i < *trials; i++ {
+	// Trials run across the worker pool; all randomness (ALU seeds, the
+	// rendered sign) derives from the trial index so the tally is
+	// independent of scheduling. The outcome mapping mirrors the serial
+	// CLI of earlier revisions: a bucket trip is a detected unrecoverable
+	// error, retries mean the fault was corrected, otherwise masked.
+	trial := func(i int) (correct, signalled bool, err error) {
 		cfgTrial := cfg
+		aluSeed := *seed + int64(i)*1_000_000
 		cfgTrial.ALUs = func() fault.ALU {
 			aluSeed++
 			alu, err := fault.NewTransient(*rate, fault.BitFlip{Bit: -1},
@@ -269,24 +274,28 @@ func cmdCampaign(args []string) error {
 		}
 		h, err := core.NewHybridNetwork(cfgTrial, net)
 		if err != nil {
-			return err
+			return false, false, err
 		}
 		img, err := gtsrb.AngledStopSign(32, rand.New(rand.NewSource(*seed+int64(i)+100)))
 		if err != nil {
-			return err
+			return false, false, err
 		}
 		res, err := h.Classify(img)
 		if err != nil {
-			return err
+			return false, false, err
 		}
 		switch {
 		case res.Decision == core.DecisionExecutionFailed:
-			tally.Add(fault.OutcomeDetected)
+			return false, true, nil // detected
 		case res.Stats.Retries > 0:
-			tally.Add(fault.OutcomeCorrected)
+			return true, true, nil // corrected
 		default:
-			tally.Add(fault.OutcomeMasked)
+			return true, false, nil // masked
 		}
+	}
+	tally, err := fault.RunCampaignParallel(*trials, *workers, trial)
+	if err != nil {
+		return err
 	}
 	fmt.Printf("campaign (%s, rate %.1e): %s\n", *modeName, *rate, tally.String())
 	return nil

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gtsrb"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// TestClassifyBatchMatchesSerial: pooled hybrid classification must agree
+// with per-call Classify — classes, decisions, qualifier verdicts AND the
+// per-inference reliable-work counters — for both wirings and any worker
+// count. Run with -race this exercises concurrent shared-weight hybrid
+// inference end to end.
+func TestClassifyBatchMatchesSerial(t *testing.T) {
+	net := trainedMicroNet(t)
+	for _, wiring := range []Wiring{WiringParallel, WiringBifurcated} {
+		cfg := Config{
+			Wiring: wiring, Mode: ModeTemporalDMR,
+			SafetyClasses: defaultSafety(),
+		}
+		imgSize := 32
+		if wiring == WiringParallel {
+			cfg.DownsampleFactor = 3
+			imgSize = 96
+		} else {
+			conv1, err := nn.FirstConv(net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pair, err := InstallSobelPair(conv1, 0, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Pair = pair
+		}
+		h, err := NewHybridNetwork(cfg, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rng := rand.New(rand.NewSource(91))
+		gcfg, err := gtsrb.Config{Size: imgSize}.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		imgs := make([]*tensor.Tensor, 9)
+		for i := range imgs {
+			spec := gtsrb.StandardClasses()[i%len(gtsrb.StandardClasses())]
+			img, err := gtsrb.Render(gtsrb.RandomParams(gcfg, spec, rng), rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			imgs[i] = img
+		}
+
+		want := make([]Result, len(imgs))
+		for i, img := range imgs {
+			res, err := h.Classify(img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = res
+		}
+
+		for _, workers := range []int{1, 4} {
+			got, err := h.ClassifyBatch(imgs, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("wiring=%v workers=%d: %d results", wiring, workers, len(got))
+			}
+			for i := range got {
+				if got[i].Class != want[i].Class || got[i].Decision != want[i].Decision ||
+					got[i].Qualifier.Class != want[i].Qualifier.Class {
+					t.Errorf("wiring=%v workers=%d img %d: (%d,%v,%v) != serial (%d,%v,%v)",
+						wiring, workers, i,
+						got[i].Class, got[i].Decision, got[i].Qualifier.Class,
+						want[i].Class, want[i].Decision, want[i].Qualifier.Class)
+				}
+				if got[i].Stats != want[i].Stats {
+					t.Errorf("wiring=%v workers=%d img %d: stats %+v != serial %+v",
+						wiring, workers, i, got[i].Stats, want[i].Stats)
+				}
+			}
+		}
+	}
+}
+
+func TestClassifyBatchEmpty(t *testing.T) {
+	net := trainedMicroNet(t)
+	h, err := NewHybridNetwork(Config{
+		Wiring: WiringParallel, Mode: ModeTemporalDMR,
+		SafetyClasses: defaultSafety(), DownsampleFactor: 3,
+	}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.ClassifyBatch(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Errorf("empty batch returned %d results", len(res))
+	}
+}

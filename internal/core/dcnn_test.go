@@ -55,13 +55,14 @@ func TestExecutePrefixMatchesPlainForward(t *testing.T) {
 				t.Fatalf("lrn=%v depth %d: %v", useLRN, depth, err)
 			}
 			// Plain reference: forward the first depth layers.
+			nctx := nn.NewContext()
 			want := x
 			for i := 0; i < depth; i++ {
 				layer, err := net.Layer(i)
 				if err != nil {
 					t.Fatal(err)
 				}
-				want, err = layer.Forward(want)
+				want, err = layer.Forward(nctx, want)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -108,7 +109,7 @@ func TestReliableLayersDetectFaults(t *testing.T) {
 	rng := rand.New(rand.NewSource(57))
 	x := tensor.MustNew(3, 16, 16)
 	x.FillUniform(rng, 0, 1)
-	want, err := net.Forward(x)
+	want, err := net.Forward(nn.NewContext(), x)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/infer"
 	"repro/internal/nn"
 	"repro/internal/reliable"
 	"repro/internal/shape"
@@ -246,26 +247,67 @@ func (h *HybridNetwork) newEngine() (*reliable.Engine, error) {
 	return reliable.NewEngine(ops, bucket)
 }
 
-// Classify runs the hybrid pipeline on a full-resolution CHW image.
+// Classify runs the hybrid pipeline on a full-resolution CHW image with a
+// fresh context and reliable engine. It is safe to call concurrently on a
+// shared HybridNetwork; for batches prefer ClassifyBatch, which shares
+// each worker's context and engine across the images of that batch.
 func (h *HybridNetwork) Classify(img *tensor.Tensor) (Result, error) {
+	engine, err := h.newEngine()
+	if err != nil {
+		return Result{}, err
+	}
+	return h.classify(nn.NewContext(), engine, img)
+}
+
+func (h *HybridNetwork) classify(ctx *nn.Context, engine *reliable.Engine, img *tensor.Tensor) (Result, error) {
 	switch h.cfg.Wiring {
 	case WiringParallel:
-		return h.classifyParallel(img)
+		return h.classifyParallel(ctx, engine, img)
 	case WiringBifurcated:
-		return h.classifyBifurcated(img)
+		return h.classifyBifurcated(ctx, engine, img)
 	default:
 		return Result{}, fmt.Errorf("core: unknown wiring %d", int(h.cfg.Wiring))
 	}
 }
 
+// ClassifyBatch classifies every image through a worker pool (workers <= 0
+// defaults to GOMAXPROCS), returning results in input order. The CNN's
+// weights are shared across workers; each worker owns its forward context
+// and reliable engine, whose leaky bucket is reset between images so every
+// inference gets the per-execution error-counter semantics of Classify.
+func (h *HybridNetwork) ClassifyBatch(imgs []*tensor.Tensor, workers int) ([]Result, error) {
+	if workers < 0 {
+		workers = 0
+	}
+	pool, err := infer.New(h.net, infer.Config{Workers: workers, EngineFactory: h.newEngine})
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(imgs))
+	err = pool.Run(len(imgs), func(w *infer.Worker, i int) error {
+		w.Engine.Bucket().Reset()
+		before := w.Engine.Stats()
+		res, err := h.classify(w.Ctx, w.Engine, imgs[i])
+		if err != nil {
+			return err
+		}
+		// The engine accumulates across the worker's items; report the
+		// per-inference delta, matching Classify's fresh-engine counters.
+		res.Stats.Sub(before)
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
 // classifyParallel implements Figure 1: reliable edge stage + qualifier in
 // parallel with the (possibly downsampled) CNN.
-func (h *HybridNetwork) classifyParallel(img *tensor.Tensor) (Result, error) {
+func (h *HybridNetwork) classifyParallel(ctx *nn.Context, engine *reliable.Engine, img *tensor.Tensor) (Result, error) {
 	var res Result
-	engine, err := h.newEngine()
-	if err != nil {
-		return res, err
-	}
+	var err error
 	// Deterministic saliency preprocessing: traffic-sign faces are
 	// saturated, so the colourfulness channel separates the sign from grey
 	// background and clutter. It is a bounded per-pixel min/max with no
@@ -296,7 +338,7 @@ func (h *HybridNetwork) classifyParallel(img *tensor.Tensor) (Result, error) {
 			return res, err
 		}
 	}
-	probs, class, err := nn.Predict(h.net, cnnIn)
+	probs, class, err := nn.PredictCtx(ctx, h.net, cnnIn)
 	if err != nil {
 		return res, fmt.Errorf("core: CNN path: %w", err)
 	}
@@ -326,12 +368,8 @@ func (h *HybridNetwork) classifyParallel(img *tensor.Tensor) (Result, error) {
 // classifyBifurcated implements Figure 2: conv1 executes reliably; its
 // output feeds both the qualifier (via the Sobel channels) and the rest of
 // the CNN.
-func (h *HybridNetwork) classifyBifurcated(img *tensor.Tensor) (Result, error) {
+func (h *HybridNetwork) classifyBifurcated(ctx *nn.Context, engine *reliable.Engine, img *tensor.Tensor) (Result, error) {
 	var res Result
-	engine, err := h.newEngine()
-	if err != nil {
-		return res, err
-	}
 	features, execErr := reliable.Conv2D(engine, img, h.conv1.Weight(), h.conv1.Bias().Data(),
 		reliable.ConvSpec{Stride: h.conv1.Stride(), Pad: h.conv1.Pad()})
 	res.Stats = engine.Stats()
@@ -363,7 +401,7 @@ func (h *HybridNetwork) classifyBifurcated(img *tensor.Tensor) (Result, error) {
 	}
 
 	// CNN path: continue after the reliable prefix.
-	logits, err := h.net.ForwardFrom(h.cfg.DCNNDepth, tail)
+	logits, err := h.net.ForwardFrom(ctx, h.cfg.DCNNDepth, tail)
 	if err != nil {
 		return res, fmt.Errorf("core: CNN continuation: %w", err)
 	}

@@ -2,7 +2,10 @@ package fault
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+
+	"repro/internal/pool"
 )
 
 // Outcome classifies the result of one fault-injection trial, following the
@@ -49,6 +52,15 @@ type Tally struct {
 	Corrected int
 	Detected  int
 	SDC       int
+}
+
+// Merge accumulates another tally into t — the reduction step of a
+// parallel campaign.
+func (t *Tally) Merge(o Tally) {
+	t.Masked += o.Masked
+	t.Corrected += o.Corrected
+	t.Detected += o.Detected
+	t.SDC += o.SDC
 }
 
 // Add records one outcome. Unknown outcomes are counted as SDC, the
@@ -127,6 +139,53 @@ func RunCampaign(n int, trial Trial) (Tally, error) {
 			return tally, fmt.Errorf("fault: trial %d: %w", i, err)
 		}
 		tally.Add(Classify(correct, signalled))
+	}
+	return tally, nil
+}
+
+// IndexedTrial runs injection trial i. The index is the trial's identity:
+// implementations must derive all randomness (fault times, bit positions,
+// workload) from it, so a campaign's outcome set is independent of worker
+// count and schedule.
+type IndexedTrial func(i int) (correct, signalled bool, err error)
+
+// RunCampaignParallel executes n independent trials across a worker pool
+// (workers <= 0 defaults to GOMAXPROCS) and tallies the outcomes. Trials
+// are claimed with work stealing — injection trials have wildly uneven
+// cost (retry storms, early bucket trips), so static sharding would stall
+// on the unlucky shard. The tally is the same multiset RunCampaign would
+// produce for the same IndexedTrial; the first trial error aborts the
+// campaign.
+func RunCampaignParallel(n, workers int, trial IndexedTrial) (Tally, error) {
+	var tally Tally
+	if n < 0 {
+		return tally, fmt.Errorf("fault: campaign size %d negative", n)
+	}
+	if trial == nil {
+		return tally, fmt.Errorf("fault: campaign trial must not be nil")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	// Per-worker tallies need no locking: the pool runs each worker index
+	// on exactly one goroutine.
+	locals := make([]Tally, workers)
+	err := pool.Run(n, workers, func(worker, i int) error {
+		correct, signalled, err := trial(i)
+		if err != nil {
+			return err
+		}
+		locals[worker].Add(Classify(correct, signalled))
+		return nil
+	})
+	if err != nil {
+		return Tally{}, fmt.Errorf("fault: %w", err)
+	}
+	for _, local := range locals {
+		tally.Merge(local)
 	}
 	return tally, nil
 }

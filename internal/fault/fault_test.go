@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -437,6 +438,58 @@ func TestRunCampaign(t *testing.T) {
 	}
 	if _, err := RunCampaign(1, nil); err == nil {
 		t.Error("nil trial should fail")
+	}
+}
+
+func TestRunCampaignParallel(t *testing.T) {
+	// Outcome derived from the index only → worker-count invariant tally.
+	trial := func(i int) (bool, bool, error) {
+		return i%2 == 0, i%3 == 0, nil
+	}
+	want, err := RunCampaignParallel(60, 1, trial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Total() != 60 {
+		t.Fatalf("serial total = %d", want.Total())
+	}
+	for _, workers := range []int{0, 2, 4, 7} {
+		got, err := RunCampaignParallel(60, workers, trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("workers=%d tally %+v != serial %+v", workers, got, want)
+		}
+	}
+
+	// Errors abort.
+	boom := fmt.Errorf("boom")
+	if _, err := RunCampaignParallel(50, 4, func(i int) (bool, bool, error) {
+		if i == 10 {
+			return false, false, boom
+		}
+		return true, false, nil
+	}); err == nil {
+		t.Error("trial error should propagate")
+	}
+	if _, err := RunCampaignParallel(-1, 2, trial); err == nil {
+		t.Error("negative n should fail")
+	}
+	// Zero trials succeed with an empty tally, matching RunCampaign(0).
+	empty, err := RunCampaignParallel(0, 4, trial)
+	if err != nil || empty.Total() != 0 {
+		t.Errorf("zero-trial campaign: tally %+v, err %v", empty, err)
+	}
+	if _, err := RunCampaignParallel(1, 2, nil); err == nil {
+		t.Error("nil trial should fail")
+	}
+
+	// Merge is plain component-wise addition.
+	a := Tally{Masked: 1, Corrected: 2, Detected: 3, SDC: 4}
+	a.Merge(Tally{Masked: 10, Corrected: 20, Detected: 30, SDC: 40})
+	if a != (Tally{Masked: 11, Corrected: 22, Detected: 33, SDC: 44}) {
+		t.Errorf("merge = %+v", a)
 	}
 }
 

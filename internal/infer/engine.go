@@ -1,0 +1,164 @@
+// Package infer is the batched, concurrency-safe execution layer between
+// the CNN framework (internal/nn) and its callers (internal/core,
+// internal/fault campaigns, the CLIs). It owns the worker-pool idiom the
+// layer refactor enables: layers hold only immutable parameters, so a single
+// network can serve as many concurrent passes as there are workers, each
+// worker owning one nn.Context (activation caches + im2col scratch) and,
+// when configured, one reliable.Engine for the reliably executed portion.
+//
+// Throughput scales with workers until the memory bandwidth of the GEMM
+// kernels saturates; the default (GOMAXPROCS) is the right choice for
+// dedicated inference. Batch sizes only need to be large enough to keep the
+// pool busy — a few times the worker count; there is no algorithmic batch
+// effect beyond scratch-buffer reuse inside each worker.
+package infer
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/nn"
+	"repro/internal/pool"
+	"repro/internal/reliable"
+	"repro/internal/tensor"
+)
+
+// Worker is the per-goroutine execution state handed to Run callbacks.
+type Worker struct {
+	// ID is the worker index in [0, Workers).
+	ID int
+	// Ctx is the worker's private forward/backward context.
+	Ctx *nn.Context
+	// Engine is the worker's reliable-execution engine (nil unless the
+	// BatchEngine was built with an EngineFactory).
+	Engine *reliable.Engine
+}
+
+// Config parameterises a BatchEngine.
+type Config struct {
+	// Workers is the pool size; 0 defaults to runtime.GOMAXPROCS(0).
+	Workers int
+	// EngineFactory, when non-nil, builds one reliable.Engine per worker
+	// (hybrid classification and fault campaigns need one; plain CNN
+	// prediction does not).
+	EngineFactory func() (*reliable.Engine, error)
+}
+
+// BatchEngine fans work items out across a fixed pool of workers. The
+// network (if any) is shared; every mutable artefact is per-worker. A
+// BatchEngine is safe for sequential reuse across many batches — contexts
+// and their scratch buffers persist, which is where the allocation win of
+// batching lives — but a single BatchEngine must not run two batches
+// concurrently.
+type BatchEngine struct {
+	net     *nn.Sequential
+	workers []*Worker
+}
+
+// New builds a pool over net (which may be nil for engines used only via
+// Run with closures that carry their own workload).
+func New(net *nn.Sequential, cfg Config) (*BatchEngine, error) {
+	n := cfg.Workers
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("infer: worker count %d must be >= 1", cfg.Workers)
+	}
+	e := &BatchEngine{net: net, workers: make([]*Worker, n)}
+	for i := range e.workers {
+		w := &Worker{ID: i, Ctx: nn.NewContext()}
+		if cfg.EngineFactory != nil {
+			eng, err := cfg.EngineFactory()
+			if err != nil {
+				return nil, fmt.Errorf("infer: worker %d engine: %w", i, err)
+			}
+			w.Engine = eng
+		}
+		e.workers[i] = w
+	}
+	return e, nil
+}
+
+// Workers returns the pool size.
+func (e *BatchEngine) Workers() int { return len(e.workers) }
+
+// Net returns the shared network (possibly nil).
+func (e *BatchEngine) Net() *nn.Sequential { return e.net }
+
+// Run executes fn(worker, i) for every i in [0, n), work-stealing across
+// the pool: each worker pulls the next unclaimed index, so uneven item
+// costs (retry storms in fault campaigns, early bucket trips) do not
+// stall the batch. The first error cancels remaining work and is returned.
+func (e *BatchEngine) Run(n int, fn func(w *Worker, i int) error) error {
+	if fn == nil {
+		return fmt.Errorf("infer: run needs a work function")
+	}
+	err := pool.Run(n, len(e.workers), func(worker, i int) error {
+		return fn(e.workers[worker], i)
+	})
+	if err != nil {
+		return fmt.Errorf("infer: %w", err)
+	}
+	return nil
+}
+
+// Stats sums the reliable-execution work counters across all workers —
+// the campaign-level aggregate. Zero when no EngineFactory was configured.
+func (e *BatchEngine) Stats() reliable.Stats {
+	var s reliable.Stats
+	for _, w := range e.workers {
+		if w.Engine != nil {
+			s.Add(w.Engine.Stats())
+		}
+	}
+	return s
+}
+
+// Prediction is one classification result from Predict.
+type Prediction struct {
+	Class int
+	Probs []float32
+}
+
+// Forward runs the shared network over every input and returns the outputs
+// in input order.
+func (e *BatchEngine) Forward(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if e.net == nil {
+		return nil, fmt.Errorf("infer: engine has no network")
+	}
+	outs := make([]*tensor.Tensor, len(xs))
+	err := e.Run(len(xs), func(w *Worker, i int) error {
+		out, err := e.net.Forward(w.Ctx, xs[i])
+		if err != nil {
+			return err
+		}
+		outs[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// Predict classifies every input through the shared network and returns
+// softmax probabilities and argmax classes in input order.
+func (e *BatchEngine) Predict(xs []*tensor.Tensor) ([]Prediction, error) {
+	if e.net == nil {
+		return nil, fmt.Errorf("infer: engine has no network")
+	}
+	preds := make([]Prediction, len(xs))
+	err := e.Run(len(xs), func(w *Worker, i int) error {
+		probs, class, err := nn.PredictCtx(w.Ctx, e.net, xs[i])
+		if err != nil {
+			return err
+		}
+		preds[i] = Prediction{Class: class, Probs: probs}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return preds, nil
+}

@@ -1,0 +1,166 @@
+package infer
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func microNet(t testing.TB, seed int64) *nn.Sequential {
+	t.Helper()
+	net, err := nn.NewMicroAlexNet(nn.MicroConfig{
+		InputSize: 16, Conv1Filters: 4, Conv1Kernel: 3, Conv2Filters: 4,
+		Hidden: 8, Classes: 4, UseLRN: true,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func randImages(n, size int, seed int64) []*tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]*tensor.Tensor, n)
+	for i := range xs {
+		x := tensor.MustNew(3, size, size)
+		x.FillUniform(rng, 0, 1)
+		xs[i] = x
+	}
+	return xs
+}
+
+// TestBatchEngineMatchesSerial: the pooled result must be exactly the serial
+// result, in order, for every worker count. Run with -race this is the
+// concurrent shared-weight inference gate of the refactor.
+func TestBatchEngineMatchesSerial(t *testing.T) {
+	net := microNet(t, 1)
+	xs := randImages(17, 16, 2)
+
+	// Serial reference through one context.
+	ctx := nn.NewContext()
+	want := make([]int, len(xs))
+	for i, x := range xs {
+		_, class, err := nn.PredictCtx(ctx, net, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = class
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		e, err := New(net, Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two rounds through the same engine: the second reuses warmed
+		// per-worker scratch buffers.
+		for round := 0; round < 2; round++ {
+			preds, err := e.Predict(xs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range preds {
+				if p.Class != want[i] {
+					t.Fatalf("workers=%d round=%d: class[%d] = %d, want %d",
+						workers, round, i, p.Class, want[i])
+				}
+				var sum float64
+				for _, v := range p.Probs {
+					sum += float64(v)
+				}
+				if sum < 0.999 || sum > 1.001 {
+					t.Fatalf("workers=%d: probs[%d] sum %v", workers, i, sum)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchEngineForward(t *testing.T) {
+	net := microNet(t, 3)
+	xs := randImages(5, 16, 4)
+	e, err := New(net, Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := e.Forward(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := nn.NewContext()
+	for i, x := range xs {
+		want, err := net.Forward(ctx, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d, _ := outs[i].MaxAbsDiff(want); d > 1e-6 {
+			t.Fatalf("forward[%d] diverges by %v", i, d)
+		}
+	}
+}
+
+func TestBatchEngineRun(t *testing.T) {
+	e, err := New(nil, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Workers() != 4 {
+		t.Fatalf("workers = %d", e.Workers())
+	}
+	var count atomic.Int64
+	if err := e.Run(100, func(w *Worker, i int) error {
+		if w.Ctx == nil {
+			t.Error("worker without context")
+		}
+		count.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 100 {
+		t.Fatalf("ran %d of 100 items", count.Load())
+	}
+
+	// Errors propagate and cancel the batch.
+	boom := errors.New("boom")
+	err = e.Run(1000, func(w *Worker, i int) error {
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+
+	// Empty batch and validation.
+	if err := e.Run(0, func(w *Worker, i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(-1, nil); err == nil {
+		t.Error("negative count should fail")
+	}
+	if err := e.Run(1, nil); err == nil {
+		t.Error("nil fn should fail")
+	}
+	if _, err := New(nil, Config{Workers: -2}); err == nil {
+		t.Error("negative workers should fail")
+	}
+	if _, err := e.Predict(nil); err == nil {
+		t.Error("predict without network should fail")
+	}
+}
+
+func TestBatchEngineDefaultWorkers(t *testing.T) {
+	e, err := New(nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Workers() < 1 {
+		t.Fatalf("default workers = %d", e.Workers())
+	}
+}

@@ -8,19 +8,33 @@ import (
 )
 
 // Conv2D is a 2-D convolution layer over CHW inputs with an FCHW weight bank
-// and per-filter bias, the workhorse of AlexNet.
+// and per-filter bias, the workhorse of AlexNet. The forward and backward
+// passes are lowered onto im2col + blocked GEMM (internal/tensor); the
+// direct 7-deep loop survives as ForwardNaive, the reference implementation
+// the GEMM path is equivalence-tested against.
+//
+// The struct holds only parameters and hyper-parameters; activation caches
+// and the im2col scratch live in the Context, so one Conv2D may serve any
+// number of concurrent forward passes.
 type Conv2D struct {
-	name       string
-	inC, outC  int
-	k          int // square kernel side
-	stride     int
-	pad        int
-	weight     *tensor.Tensor // (outC, inC, k, k)
-	bias       *tensor.Tensor // (outC)
-	gradW      *tensor.Tensor
-	gradB      *tensor.Tensor
-	lastIn     *tensor.Tensor // forward cache
+	name      string
+	inC, outC int
+	k         int // square kernel side
+	stride    int
+	pad       int
+	weight    *tensor.Tensor // (outC, inC, k, k)
+	bias      *tensor.Tensor // (outC)
+	gradW     *tensor.Tensor
+	gradB     *tensor.Tensor
+}
+
+// convState is the per-context mutable state of one Conv2D: the forward
+// cache Backward consumes plus the reusable lowering buffers.
+type convState struct {
+	lastIn     *tensor.Tensor
 	outH, outW int
+	cols       []float32 // im2col matrix, (inC·k·k) × (outH·outW)
+	dcols      []float32 // column-space gradient scratch for Backward
 }
 
 var _ Layer = (*Conv2D)(nil)
@@ -90,28 +104,71 @@ func (c *Conv2D) Params() []*Param {
 	}
 }
 
-// Forward implements Layer.
-func (c *Conv2D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+// checkInput validates x and returns the output extents.
+func (c *Conv2D) checkInput(x *tensor.Tensor) (outH, outW int, err error) {
 	if x.Rank() != 3 || x.Dim(0) != c.inC {
-		return nil, fmt.Errorf("nn: conv %q wants (%d,H,W) input, got %v", c.name, c.inC, x.Shape())
+		return 0, 0, fmt.Errorf("nn: conv %q wants (%d,H,W) input, got %v", c.name, c.inC, x.Shape())
 	}
 	inH, inW := x.Dim(1), x.Dim(2)
-	if inH+2*c.pad < c.k || inW+2*c.pad < c.k {
-		return nil, fmt.Errorf("nn: conv %q kernel %d does not fit input %dx%d", c.name, c.k, inH, inW)
+	outH = tensor.ConvOut(inH, c.k, c.stride, c.pad)
+	outW = tensor.ConvOut(inW, c.k, c.stride, c.pad)
+	if outH < 1 || outW < 1 {
+		return 0, 0, fmt.Errorf("nn: conv %q kernel %d does not fit input %dx%d", c.name, c.k, inH, inW)
 	}
-	c.outH = (inH+2*c.pad-c.k)/c.stride + 1
-	c.outW = (inW+2*c.pad-c.k)/c.stride + 1
-	if c.outH < 1 || c.outW < 1 {
-		return nil, fmt.Errorf("nn: conv %q kernel %d does not fit input %dx%d", c.name, c.k, inH, inW)
+	return outH, outW, nil
+}
+
+// Forward implements Layer: lower the input with im2col, multiply with the
+// (outC) × (inC·k·k) weight view in one blocked GEMM, add bias.
+func (c *Conv2D) Forward(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: conv %q forward needs a context", c.name)
 	}
-	c.lastIn = x
-	out := tensor.MustNew(c.outC, c.outH, c.outW)
+	outH, outW, err := c.checkInput(x)
+	if err != nil {
+		return nil, err
+	}
+	st := ctx.state(c, func() any { return &convState{} }).(*convState)
+	inH, inW := x.Dim(1), x.Dim(2)
+	n := outH * outW
+	ckk := c.inC * c.k * c.k
+
+	st.cols = tensor.GrowSlice(st.cols, ckk*n)
+	if err := tensor.Im2col(st.cols, x.Data(), c.inC, inH, inW, c.k, c.stride, c.pad); err != nil {
+		return nil, fmt.Errorf("nn: conv %q: %w", c.name, err)
+	}
+	out := tensor.MustNew(c.outC, outH, outW)
+	od, b := out.Data(), c.bias.Data()
+	for f := 0; f < c.outC; f++ {
+		row := od[f*n : (f+1)*n]
+		bv := b[f]
+		for j := range row {
+			row[j] = bv
+		}
+	}
+	tensor.GemmAcc(od, c.weight.Data(), st.cols, c.outC, ckk, n)
+	st.lastIn, st.outH, st.outW = x, outH, outW
+	return out, nil
+}
+
+// ForwardNaive computes the convolution with the direct loop nest over
+// (filter, y, x, channel, ky, kx). It allocates no cache and touches no
+// context: it is the reference implementation for the GEMM path's
+// equivalence tests and for explainability review (the transcription of the
+// textbook definition the dependability argument can be checked against).
+func (c *Conv2D) ForwardNaive(x *tensor.Tensor) (*tensor.Tensor, error) {
+	outH, outW, err := c.checkInput(x)
+	if err != nil {
+		return nil, err
+	}
+	inH, inW := x.Dim(1), x.Dim(2)
+	out := tensor.MustNew(c.outC, outH, outW)
 	in, w, b, od := x.Data(), c.weight.Data(), c.bias.Data(), out.Data()
 	for f := 0; f < c.outC; f++ {
 		fBase := f * c.inC * c.k * c.k
-		for oy := 0; oy < c.outH; oy++ {
+		for oy := 0; oy < outH; oy++ {
 			iy0 := oy*c.stride - c.pad
-			for ox := 0; ox < c.outW; ox++ {
+			for ox := 0; ox < outW; ox++ {
 				ix0 := ox*c.stride - c.pad
 				acc := b[f]
 				for ch := 0; ch < c.inC; ch++ {
@@ -132,60 +189,53 @@ func (c *Conv2D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 						}
 					}
 				}
-				od[(f*c.outH+oy)*c.outW+ox] = acc
+				od[(f*outH+oy)*outW+ox] = acc
 			}
 		}
 	}
 	return out, nil
 }
 
-// Backward implements Layer.
-func (c *Conv2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
-	if c.lastIn == nil {
+// Backward implements Layer in column space: dB is the per-filter row sum of
+// dY, dW += dY · colsᵀ reuses the forward's im2col matrix, and
+// dX = Col2im(Wᵀ · dY).
+func (c *Conv2D) Backward(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: conv %q backward needs a context", c.name)
+	}
+	st, ok := ctx.states[c].(*convState)
+	if !ok || st.lastIn == nil {
 		return nil, fmt.Errorf("nn: conv %q backward before forward", c.name)
 	}
-	if grad.Rank() != 3 || grad.Dim(0) != c.outC || grad.Dim(1) != c.outH || grad.Dim(2) != c.outW {
+	if grad.Rank() != 3 || grad.Dim(0) != c.outC || grad.Dim(1) != st.outH || grad.Dim(2) != st.outW {
 		return nil, fmt.Errorf("nn: conv %q wants (%d,%d,%d) gradient, got %v",
-			c.name, c.outC, c.outH, c.outW, grad.Shape())
+			c.name, c.outC, st.outH, st.outW, grad.Shape())
 	}
-	x := c.lastIn
+	x := st.lastIn
 	inH, inW := x.Dim(1), x.Dim(2)
-	dx := tensor.MustNew(c.inC, inH, inW)
-	in, w, g := x.Data(), c.weight.Data(), grad.Data()
-	dw, db, dxd := c.gradW.Data(), c.gradB.Data(), dx.Data()
+	n := st.outH * st.outW
+	ckk := c.inC * c.k * c.k
+	g := grad.Data()
+	dw := ctx.gradBuf(c.gradW).Data()
+	db := ctx.gradBuf(c.gradB).Data()
+
 	for f := 0; f < c.outC; f++ {
-		fBase := f * c.inC * c.k * c.k
-		for oy := 0; oy < c.outH; oy++ {
-			iy0 := oy*c.stride - c.pad
-			for ox := 0; ox < c.outW; ox++ {
-				gv := g[(f*c.outH+oy)*c.outW+ox]
-				if gv == 0 {
-					continue
-				}
-				ix0 := ox*c.stride - c.pad
-				db[f] += gv
-				for ch := 0; ch < c.inC; ch++ {
-					chBase := ch * inH * inW
-					kBase := fBase + ch*c.k*c.k
-					for ky := 0; ky < c.k; ky++ {
-						iy := iy0 + ky
-						if iy < 0 || iy >= inH {
-							continue
-						}
-						row := chBase + iy*inW
-						kRow := kBase + ky*c.k
-						for kx := 0; kx < c.k; kx++ {
-							ix := ix0 + kx
-							if ix < 0 || ix >= inW {
-								continue
-							}
-							dw[kRow+kx] += gv * in[row+ix]
-							dxd[row+ix] += gv * w[kRow+kx]
-						}
-					}
-				}
-			}
+		var acc float32
+		for _, gv := range g[f*n : (f+1)*n] {
+			acc += gv
 		}
+		db[f] += acc
+	}
+	tensor.GemmTB(dw, g, st.cols, c.outC, n, ckk)
+
+	st.dcols = tensor.GrowSlice(st.dcols, ckk*n)
+	for i := range st.dcols {
+		st.dcols[i] = 0
+	}
+	tensor.GemmTA(st.dcols, c.weight.Data(), g, ckk, c.outC, n)
+	dx := tensor.MustNew(c.inC, inH, inW)
+	if err := tensor.Col2im(dx.Data(), st.dcols, c.inC, inH, inW, c.k, c.stride, c.pad); err != nil {
+		return nil, fmt.Errorf("nn: conv %q: %w", c.name, err)
 	}
 	return dx, nil
 }

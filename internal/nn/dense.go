@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/tensor"
 )
@@ -15,7 +16,11 @@ type Dense struct {
 	bias    *tensor.Tensor // (out)
 	gradW   *tensor.Tensor
 	gradB   *tensor.Tensor
-	lastIn  *tensor.Tensor
+}
+
+// denseState is the per-context forward cache.
+type denseState struct {
+	lastIn *tensor.Tensor
 }
 
 var _ Layer = (*Dense)(nil)
@@ -63,11 +68,15 @@ func (d *Dense) Params() []*Param {
 }
 
 // Forward implements Layer.
-func (d *Dense) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+func (d *Dense) Forward(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: dense %q forward needs a context", d.name)
+	}
 	if x.Rank() != 1 || x.Dim(0) != d.in {
 		return nil, fmt.Errorf("nn: dense %q wants (%d) input, got %v", d.name, d.in, x.Shape())
 	}
-	d.lastIn = x
+	st := ctx.state(d, func() any { return &denseState{} }).(*denseState)
+	st.lastIn = x
 	out := tensor.MustNew(d.out)
 	in, w, b, od := x.Data(), d.weight.Data(), d.bias.Data(), out.Data()
 	for o := 0; o < d.out; o++ {
@@ -82,16 +91,22 @@ func (d *Dense) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 }
 
 // Backward implements Layer.
-func (d *Dense) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
-	if d.lastIn == nil {
+func (d *Dense) Backward(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: dense %q backward needs a context", d.name)
+	}
+	st, ok := ctx.states[d].(*denseState)
+	if !ok || st.lastIn == nil {
 		return nil, fmt.Errorf("nn: dense %q backward before forward", d.name)
 	}
 	if grad.Rank() != 1 || grad.Dim(0) != d.out {
 		return nil, fmt.Errorf("nn: dense %q wants (%d) gradient, got %v", d.name, d.out, grad.Shape())
 	}
 	dx := tensor.MustNew(d.in)
-	in, w, g := d.lastIn.Data(), d.weight.Data(), grad.Data()
-	dw, db, dxd := d.gradW.Data(), d.gradB.Data(), dx.Data()
+	in, w, g := st.lastIn.Data(), d.weight.Data(), grad.Data()
+	dw := ctx.gradBuf(d.gradW).Data()
+	db := ctx.gradBuf(d.gradB).Data()
+	dxd := dx.Data()
 	for o := 0; o < d.out; o++ {
 		gv := g[o]
 		db[o] += gv
@@ -107,19 +122,26 @@ func (d *Dense) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	return dx, nil
 }
 
-// Dropout zeroes activations with probability Rate during training and is
-// the identity at inference (inverted dropout: surviving activations are
-// scaled by 1/(1−Rate) so inference needs no rescaling).
+// Dropout zeroes activations with probability Rate in training contexts and
+// is the identity at inference (inverted dropout: surviving activations are
+// scaled by 1/(1−Rate) so inference needs no rescaling). The mask is drawn
+// from the context RNG when one is set (per-worker determinism in parallel
+// training); contexts without an RNG fall back to the layer's construction
+// RNG under a mutex, so concurrent training contexts that forgot SetRand
+// stay race-free (merely serialised on the mask draw).
 type Dropout struct {
-	name     string
-	rate     float32
-	rng      *rand.Rand
-	training bool
-	mask     []float32
+	name string
+	rate float32
+	mu   sync.Mutex // guards rng: shared fallback for RNG-less contexts
+	rng  *rand.Rand
+}
+
+// dropoutState is the per-context mask cache.
+type dropoutState struct {
+	mask []float32
 }
 
 var _ Layer = (*Dropout)(nil)
-var _ trainable = (*Dropout)(nil)
 
 // NewDropout returns a dropout layer with drop probability rate in [0, 1).
 func NewDropout(name string, rate float32, rng *rand.Rand) (*Dropout, error) {
@@ -138,23 +160,30 @@ func (d *Dropout) Name() string { return d.name }
 // Params implements Layer.
 func (d *Dropout) Params() []*Param { return nil }
 
-// SetTraining implements the trainable switch.
-func (d *Dropout) SetTraining(on bool) { d.training = on }
-
 // Forward implements Layer.
-func (d *Dropout) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
-	if !d.training || d.rate == 0 {
-		d.mask = nil
+func (d *Dropout) Forward(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: dropout %q forward needs a context", d.name)
+	}
+	st := ctx.state(d, func() any { return &dropoutState{} }).(*dropoutState)
+	if !ctx.Training() || d.rate == 0 {
+		st.mask = nil
 		return x, nil
+	}
+	rng := ctx.Rand()
+	if rng == nil {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		rng = d.rng
 	}
 	out := x.Clone()
 	data := out.Data()
-	d.mask = make([]float32, len(data))
+	st.mask = make([]float32, len(data))
 	keep := 1 - d.rate
 	inv := 1 / keep
 	for i := range data {
-		if d.rng.Float32() < keep {
-			d.mask[i] = inv
+		if rng.Float32() < keep {
+			st.mask[i] = inv
 			data[i] *= inv
 		} else {
 			data[i] = 0
@@ -164,17 +193,21 @@ func (d *Dropout) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 }
 
 // Backward implements Layer.
-func (d *Dropout) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
-	if d.mask == nil {
+func (d *Dropout) Backward(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: dropout %q backward needs a context", d.name)
+	}
+	st, ok := ctx.states[d].(*dropoutState)
+	if !ok || st.mask == nil {
 		return grad, nil // inference mode: identity
 	}
-	if grad.Len() != len(d.mask) {
+	if grad.Len() != len(st.mask) {
 		return nil, fmt.Errorf("nn: dropout %q gradient length %d != cached %d",
-			d.name, grad.Len(), len(d.mask))
+			d.name, grad.Len(), len(st.mask))
 	}
 	dx := grad.Clone()
 	data := dx.Data()
-	for i, m := range d.mask {
+	for i, m := range st.mask {
 		data[i] *= m
 	}
 	return dx, nil

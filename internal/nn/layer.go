@@ -1,14 +1,17 @@
 // Package nn is the from-scratch CNN framework the reproduction trains and
 // executes hybrid networks with. It provides the layers AlexNet needs
 // (convolution, ReLU, local response normalisation, max pooling, dense,
-// dropout), per-sample forward/backward passes, cross-entropy loss and
-// weight serialisation.
+// dropout), forward/backward passes, cross-entropy loss and weight
+// serialisation.
 //
 // Layers operate on single CHW samples (no batch dimension); batching is the
-// trainer's job (internal/train accumulates gradients across a mini-batch).
-// This keeps every layer implementation a direct transcription of its
-// textbook definition — valuable in a dependability context where
-// explainability of the implementation is part of the safety argument.
+// execution layer's job: internal/infer fans samples out across a worker
+// pool, internal/train accumulates gradients across a mini-batch. Layers
+// hold only immutable parameters — every per-call cache and scratch buffer
+// lives in the Context threaded through Forward/Backward — so one network
+// can serve any number of concurrent passes, one Context per goroutine.
+// Convolution runs on the im2col+GEMM kernels of internal/tensor, with the
+// direct-loop reference retained for equivalence testing.
 package nn
 
 import (
@@ -29,28 +32,27 @@ type Param struct {
 // ZeroGrad clears the gradient accumulator.
 func (p *Param) ZeroGrad() { p.Grad.Zero() }
 
-// Layer is a differentiable module. Forward caches whatever Backward needs;
-// Backward consumes the gradient w.r.t. the layer's output and returns the
-// gradient w.r.t. its input, accumulating parameter gradients as a side
-// effect. Layers are NOT safe for concurrent use (the forward cache is
-// per-layer state).
+// Layer is a differentiable module. Forward caches whatever Backward needs
+// in ctx; Backward consumes the gradient w.r.t. the layer's output and
+// returns the gradient w.r.t. its input, accumulating parameter gradients
+// (into the canonical Grad tensors, or the context's shadow buffers — see
+// Context.ShadowGrads) as a side effect.
+//
+// Layers ARE safe for concurrent shared-weight use: all mutable per-call
+// state lives in the Context, so goroutines running the same layer must
+// simply not share a Context.
 type Layer interface {
 	// Name identifies the layer in summaries and serialised models.
 	Name() string
-	// Forward computes the layer output for one CHW (or flat) sample.
-	Forward(x *tensor.Tensor) (*tensor.Tensor, error)
+	// Forward computes the layer output for one CHW (or flat) sample,
+	// caching backward state in ctx.
+	Forward(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error)
 	// Backward computes the input gradient from the output gradient. It
-	// must be called after Forward with a gradient matching the output
-	// shape.
-	Backward(grad *tensor.Tensor) (*tensor.Tensor, error)
+	// must be called on the same Context after Forward, with a gradient
+	// matching the output shape.
+	Backward(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, error)
 	// Params returns the layer's learnable parameters (possibly empty).
 	Params() []*Param
-}
-
-// trainable is implemented by layers whose behaviour differs between
-// training and inference (dropout).
-type trainable interface {
-	SetTraining(on bool)
 }
 
 // Sequential chains layers.
@@ -90,28 +92,24 @@ func (s *Sequential) Layer(i int) (Layer, error) {
 // Len returns the number of layers.
 func (s *Sequential) Len() int { return len(s.layers) }
 
-// Forward runs the full chain.
-func (s *Sequential) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
-	var err error
-	for i, l := range s.layers {
-		x, err = l.Forward(x)
-		if err != nil {
-			return nil, fmt.Errorf("nn: forward layer %d (%s): %w", i, l.Name(), err)
-		}
-	}
-	return x, nil
+// Forward runs the full chain through ctx.
+func (s *Sequential) Forward(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	return s.ForwardFrom(ctx, 0, x)
 }
 
 // ForwardFrom runs the chain starting at layer index from (inclusive). It is
 // the hybrid network's entry point for continuing a classification from the
 // reliably computed DCNN output.
-func (s *Sequential) ForwardFrom(from int, x *tensor.Tensor) (*tensor.Tensor, error) {
+func (s *Sequential) ForwardFrom(ctx *Context, from int, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: forward needs a context")
+	}
 	if from < 0 || from > len(s.layers) {
 		return nil, fmt.Errorf("nn: forward-from index %d out of range [0,%d]", from, len(s.layers))
 	}
 	var err error
 	for i := from; i < len(s.layers); i++ {
-		x, err = s.layers[i].Forward(x)
+		x, err = s.layers[i].Forward(ctx, x)
 		if err != nil {
 			return nil, fmt.Errorf("nn: forward layer %d (%s): %w", i, s.layers[i].Name(), err)
 		}
@@ -119,11 +117,15 @@ func (s *Sequential) ForwardFrom(from int, x *tensor.Tensor) (*tensor.Tensor, er
 	return x, nil
 }
 
-// Backward propagates the output gradient through the chain in reverse.
-func (s *Sequential) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+// Backward propagates the output gradient through the chain in reverse,
+// using the caches Forward left in ctx.
+func (s *Sequential) Backward(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: backward needs a context")
+	}
 	var err error
 	for i := len(s.layers) - 1; i >= 0; i-- {
-		grad, err = s.layers[i].Backward(grad)
+		grad, err = s.layers[i].Backward(ctx, grad)
 		if err != nil {
 			return nil, fmt.Errorf("nn: backward layer %d (%s): %w", i, s.layers[i].Name(), err)
 		}
@@ -153,15 +155,6 @@ func (s *Sequential) ParamCount() int {
 func (s *Sequential) ZeroGrads() {
 	for _, p := range s.Params() {
 		p.ZeroGrad()
-	}
-}
-
-// SetTraining switches training-dependent layers (dropout) between modes.
-func (s *Sequential) SetTraining(on bool) {
-	for _, l := range s.layers {
-		if t, ok := l.(trainable); ok {
-			t.SetTraining(on)
-		}
 	}
 }
 

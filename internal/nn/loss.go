@@ -47,10 +47,18 @@ func CrossEntropyLoss(logits *tensor.Tensor, label int) (loss float64, grad *ten
 	return loss, grad, nil
 }
 
-// Predict runs a forward pass and returns the class probabilities and the
-// argmax class.
+// Predict runs an inference forward pass through a fresh context and
+// returns the class probabilities and the argmax class. For repeated or
+// concurrent prediction, allocate a Context per goroutine and use
+// PredictCtx so scratch buffers are reused.
 func Predict(net *Sequential, x *tensor.Tensor) (probs []float32, class int, err error) {
-	logits, err := net.Forward(x)
+	return PredictCtx(NewContext(), net, x)
+}
+
+// PredictCtx runs a forward pass through ctx and returns the class
+// probabilities and the argmax class.
+func PredictCtx(ctx *Context, net *Sequential, x *tensor.Tensor) (probs []float32, class int, err error) {
+	logits, err := net.Forward(ctx, x)
 	if err != nil {
 		return nil, 0, fmt.Errorf("nn: predict forward: %w", err)
 	}

@@ -18,7 +18,10 @@ type LRN struct {
 	k     float64
 	alpha float64
 	beta  float64
+}
 
+// lrnState is the per-context forward cache.
+type lrnState struct {
 	lastIn *tensor.Tensor
 	denom  []float64 // cached k + (α/n)Σx² per element
 }
@@ -54,14 +57,22 @@ func (l *LRN) Name() string { return l.name }
 func (l *LRN) Params() []*Param { return nil }
 
 // Forward implements Layer.
-func (l *LRN) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+func (l *LRN) Forward(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: lrn %q forward needs a context", l.name)
+	}
 	if x.Rank() != 3 {
 		return nil, fmt.Errorf("nn: lrn %q wants CHW input, got %v", l.name, x.Shape())
 	}
 	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
-	l.lastIn = x
+	st := ctx.state(l, func() any { return &lrnState{} }).(*lrnState)
+	st.lastIn = x
 	out := tensor.MustNew(c, h, w)
-	l.denom = make([]float64, c*h*w)
+	if cap(st.denom) >= c*h*w {
+		st.denom = st.denom[:c*h*w]
+	} else {
+		st.denom = make([]float64, c*h*w)
+	}
 	in, od := x.Data(), out.Data()
 	half := l.n / 2
 	hw := h * w
@@ -82,7 +93,7 @@ func (l *LRN) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 			}
 			d := l.k + l.alpha/float64(l.n)*ss
 			idx := ch*hw + pos
-			l.denom[idx] = d
+			st.denom[idx] = d
 			od[idx] = float32(float64(in[idx]) * math.Pow(d, -l.beta))
 		}
 	}
@@ -92,17 +103,21 @@ func (l *LRN) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 // Backward implements Layer, with the exact derivative:
 //
 //	dx_m = g_m·denom_m^{-β} − (2αβ/n)·x_m·Σ_{i: m∈window(i)} g_i·x_i·denom_i^{-β-1}
-func (l *LRN) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
-	if l.lastIn == nil {
+func (l *LRN) Backward(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: lrn %q backward needs a context", l.name)
+	}
+	st, ok := ctx.states[l].(*lrnState)
+	if !ok || st.lastIn == nil {
 		return nil, fmt.Errorf("nn: lrn %q backward before forward", l.name)
 	}
-	if !grad.SameShape(l.lastIn) {
+	if !grad.SameShape(st.lastIn) {
 		return nil, fmt.Errorf("nn: lrn %q gradient shape %v != input %v",
-			l.name, grad.Shape(), l.lastIn.Shape())
+			l.name, grad.Shape(), st.lastIn.Shape())
 	}
-	c, h, w := l.lastIn.Dim(0), l.lastIn.Dim(1), l.lastIn.Dim(2)
+	c, h, w := st.lastIn.Dim(0), st.lastIn.Dim(1), st.lastIn.Dim(2)
 	dx := tensor.MustNew(c, h, w)
-	in, g, dxd := l.lastIn.Data(), grad.Data(), dx.Data()
+	in, g, dxd := st.lastIn.Data(), grad.Data(), dx.Data()
 	half := l.n / 2
 	hw := h * w
 	scale := 2 * l.alpha * l.beta / float64(l.n)
@@ -111,11 +126,11 @@ func (l *LRN) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 		gi := make([]float64, c)
 		for ch := 0; ch < c; ch++ {
 			idx := ch*hw + pos
-			gi[ch] = float64(g[idx]) * float64(in[idx]) * math.Pow(l.denom[idx], -l.beta-1)
+			gi[ch] = float64(g[idx]) * float64(in[idx]) * math.Pow(st.denom[idx], -l.beta-1)
 		}
 		for m := 0; m < c; m++ {
 			idx := m*hw + pos
-			direct := float64(g[idx]) * math.Pow(l.denom[idx], -l.beta)
+			direct := float64(g[idx]) * math.Pow(st.denom[idx], -l.beta)
 			// Channels i whose window contains m: |i − m| <= half.
 			lo := m - half
 			if lo < 0 {

@@ -24,9 +24,10 @@ func dotAll(t *testing.T, out, g *tensor.Tensor) float64 {
 // both the input gradient and every parameter gradient. Checks a sample of
 // indices to stay fast.
 func gradCheck(t *testing.T, layer Layer, x *tensor.Tensor, tol float64) {
+	ctx := NewContext()
 	t.Helper()
 	rng := rand.New(rand.NewSource(99))
-	out, err := layer.Forward(x)
+	out, err := layer.Forward(ctx, x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func gradCheck(t *testing.T, layer Layer, x *tensor.Tensor, tol float64) {
 	for _, p := range layer.Params() {
 		p.ZeroGrad()
 	}
-	dx, err := layer.Backward(upstream)
+	dx, err := layer.Backward(ctx, upstream)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,13 +49,13 @@ func gradCheck(t *testing.T, layer Layer, x *tensor.Tensor, tol float64) {
 		for i := 0; i < n; i += step {
 			orig := value.Data()[i]
 			value.Data()[i] = orig + h
-			o1, err := layer.Forward(x)
+			o1, err := layer.Forward(ctx, x)
 			if err != nil {
 				t.Fatal(err)
 			}
 			f1 := dotAll(t, o1, upstream)
 			value.Data()[i] = orig - h
-			o2, err := layer.Forward(x)
+			o2, err := layer.Forward(ctx, x)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -71,7 +72,7 @@ func gradCheck(t *testing.T, layer Layer, x *tensor.Tensor, tol float64) {
 	}
 	checkTensor("input", x, dx)
 	// Restore the forward cache, then check parameters.
-	if _, err := layer.Forward(x); err != nil {
+	if _, err := layer.Forward(ctx, x); err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range layer.Params() {
@@ -80,6 +81,7 @@ func gradCheck(t *testing.T, layer Layer, x *tensor.Tensor, tol float64) {
 }
 
 func TestConvForwardIdentityKernel(t *testing.T) {
+	ctx := NewContext()
 	rng := rand.New(rand.NewSource(1))
 	c, err := NewConv2D("c", 1, 1, 1, 1, 0, rng)
 	if err != nil {
@@ -88,7 +90,7 @@ func TestConvForwardIdentityKernel(t *testing.T) {
 	c.Weight().Fill(1) // 1×1 kernel of 1 = identity
 	c.Bias().Fill(0)
 	x := tensor.MustFromSlice([]float32{1, 2, 3, 4}, 1, 2, 2)
-	out, err := c.Forward(x)
+	out, err := c.Forward(ctx, x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,6 +100,7 @@ func TestConvForwardIdentityKernel(t *testing.T) {
 }
 
 func TestConvForwardKnownValues(t *testing.T) {
+	ctx := NewContext()
 	rng := rand.New(rand.NewSource(2))
 	c, err := NewConv2D("c", 1, 1, 2, 1, 0, rng)
 	if err != nil {
@@ -111,7 +114,7 @@ func TestConvForwardKnownValues(t *testing.T) {
 		4, 5, 6,
 		7, 8, 9,
 	}, 1, 3, 3)
-	out, err := c.Forward(x)
+	out, err := c.Forward(ctx, x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,6 +127,7 @@ func TestConvForwardKnownValues(t *testing.T) {
 }
 
 func TestConvStridePad(t *testing.T) {
+	ctx := NewContext()
 	rng := rand.New(rand.NewSource(3))
 	c, err := NewConv2D("c", 2, 3, 3, 2, 1, rng)
 	if err != nil {
@@ -131,7 +135,7 @@ func TestConvStridePad(t *testing.T) {
 	}
 	x := tensor.MustNew(2, 7, 7)
 	x.FillUniform(rng, -1, 1)
-	out, err := c.Forward(x)
+	out, err := c.Forward(ctx, x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,6 +146,7 @@ func TestConvStridePad(t *testing.T) {
 }
 
 func TestConvValidation(t *testing.T) {
+	ctx := NewContext()
 	rng := rand.New(rand.NewSource(4))
 	if _, err := NewConv2D("c", 0, 1, 3, 1, 0, rng); err == nil {
 		t.Error("zero in-channels should fail")
@@ -159,19 +164,19 @@ func TestConvValidation(t *testing.T) {
 		t.Error("nil rng should fail")
 	}
 	c, _ := NewConv2D("c", 2, 1, 3, 1, 0, rng)
-	if _, err := c.Forward(tensor.MustNew(3, 5, 5)); err == nil {
+	if _, err := c.Forward(ctx, tensor.MustNew(3, 5, 5)); err == nil {
 		t.Error("channel mismatch should fail")
 	}
-	if _, err := c.Forward(tensor.MustNew(2, 2, 2)); err == nil {
+	if _, err := c.Forward(ctx, tensor.MustNew(2, 2, 2)); err == nil {
 		t.Error("too-small input should fail")
 	}
-	if _, err := c.Backward(tensor.MustNew(1, 1, 1)); err == nil {
+	if _, err := c.Backward(ctx, tensor.MustNew(1, 1, 1)); err == nil {
 		t.Error("backward before forward should fail")
 	}
-	if _, err := c.Forward(tensor.MustNew(2, 5, 5)); err != nil {
+	if _, err := c.Forward(ctx, tensor.MustNew(2, 5, 5)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Backward(tensor.MustNew(9, 9, 9)); err == nil {
+	if _, err := c.Backward(ctx, tensor.MustNew(9, 9, 9)); err == nil {
 		t.Error("wrong gradient shape should fail")
 	}
 }
@@ -199,6 +204,7 @@ func TestConvAccessors(t *testing.T) {
 }
 
 func TestMaxPool(t *testing.T) {
+	ctx := NewContext()
 	p, err := NewMaxPool2D("p", 2, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -209,7 +215,7 @@ func TestMaxPool(t *testing.T) {
 		-1, -2, 0, 0,
 		-3, -4, 0, 9,
 	}, 1, 4, 4)
-	out, err := p.Forward(x)
+	out, err := p.Forward(ctx, x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +227,7 @@ func TestMaxPool(t *testing.T) {
 	}
 	// Backward routes to argmax.
 	g := tensor.MustFromSlice([]float32{10, 20, 30, 40}, 1, 2, 2)
-	dx, err := p.Backward(g)
+	dx, err := p.Backward(ctx, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,6 +240,7 @@ func TestMaxPool(t *testing.T) {
 }
 
 func TestMaxPoolValidation(t *testing.T) {
+	ctx := NewContext()
 	if _, err := NewMaxPool2D("p", 0, 1); err == nil {
 		t.Error("window 0 should fail")
 	}
@@ -241,21 +248,22 @@ func TestMaxPoolValidation(t *testing.T) {
 		t.Error("stride 0 should fail")
 	}
 	p, _ := NewMaxPool2D("p", 3, 2)
-	if _, err := p.Forward(tensor.MustNew(4)); err == nil {
+	if _, err := p.Forward(ctx, tensor.MustNew(4)); err == nil {
 		t.Error("rank-1 input should fail")
 	}
-	if _, err := p.Forward(tensor.MustNew(1, 2, 2)); err == nil {
+	if _, err := p.Forward(ctx, tensor.MustNew(1, 2, 2)); err == nil {
 		t.Error("too-small input should fail")
 	}
-	if _, err := p.Backward(tensor.MustNew(1, 1, 1)); err == nil {
+	if _, err := p.Backward(ctx, tensor.MustNew(1, 1, 1)); err == nil {
 		t.Error("backward before forward should fail")
 	}
 }
 
 func TestReLU(t *testing.T) {
+	ctx := NewContext()
 	r := NewReLU("r")
 	x := tensor.MustFromSlice([]float32{-1, 0, 2}, 3)
-	out, err := r.Forward(x)
+	out, err := r.Forward(ctx, x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +274,7 @@ func TestReLU(t *testing.T) {
 		t.Error("relu must not mutate its input")
 	}
 	g := tensor.MustFromSlice([]float32{5, 5, 5}, 3)
-	dx, err := r.Backward(g)
+	dx, err := r.Backward(ctx, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,18 +282,19 @@ func TestReLU(t *testing.T) {
 		t.Errorf("relu backward = %v", dx.Data())
 	}
 	r2 := NewReLU("r2")
-	if _, err := r2.Backward(g); err == nil {
+	if _, err := r2.Backward(ctx, g); err == nil {
 		t.Error("backward before forward should fail")
 	}
-	if _, err := r.Backward(tensor.MustNew(5)); err == nil {
+	if _, err := r.Backward(ctx, tensor.MustNew(5)); err == nil {
 		t.Error("wrong gradient length should fail")
 	}
 }
 
 func TestFlatten(t *testing.T) {
+	ctx := NewContext()
 	f := NewFlatten("f")
 	x := tensor.MustNew(2, 3, 4)
-	out, err := f.Forward(x)
+	out, err := f.Forward(ctx, x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +302,7 @@ func TestFlatten(t *testing.T) {
 		t.Errorf("flatten shape %v", out.Shape())
 	}
 	g := tensor.MustNew(24)
-	dx, err := f.Backward(g)
+	dx, err := f.Backward(ctx, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,12 +310,13 @@ func TestFlatten(t *testing.T) {
 		t.Errorf("unflatten shape %v", dx.Shape())
 	}
 	f2 := NewFlatten("f2")
-	if _, err := f2.Backward(g); err == nil {
+	if _, err := f2.Backward(ctx, g); err == nil {
 		t.Error("backward before forward should fail")
 	}
 }
 
 func TestDenseForwardKnown(t *testing.T) {
+	ctx := NewContext()
 	rng := rand.New(rand.NewSource(7))
 	d, err := NewDense("d", 2, 2, rng)
 	if err != nil {
@@ -315,7 +325,7 @@ func TestDenseForwardKnown(t *testing.T) {
 	copy(d.Weight().Data(), []float32{1, 2, 3, 4})
 	copy(d.Bias().Data(), []float32{10, 20})
 	x := tensor.MustFromSlice([]float32{1, 1}, 2)
-	out, err := d.Forward(x)
+	out, err := d.Forward(ctx, x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,6 +346,7 @@ func TestDenseGradCheck(t *testing.T) {
 }
 
 func TestDenseValidation(t *testing.T) {
+	ctx := NewContext()
 	rng := rand.New(rand.NewSource(9))
 	if _, err := NewDense("d", 0, 1, rng); err == nil {
 		t.Error("zero input dim should fail")
@@ -344,21 +355,22 @@ func TestDenseValidation(t *testing.T) {
 		t.Error("nil rng should fail")
 	}
 	d, _ := NewDense("d", 3, 2, rng)
-	if _, err := d.Forward(tensor.MustNew(4)); err == nil {
+	if _, err := d.Forward(ctx, tensor.MustNew(4)); err == nil {
 		t.Error("wrong input length should fail")
 	}
-	if _, err := d.Backward(tensor.MustNew(2)); err == nil {
+	if _, err := d.Backward(ctx, tensor.MustNew(2)); err == nil {
 		t.Error("backward before forward should fail")
 	}
-	if _, err := d.Forward(tensor.MustNew(3)); err != nil {
+	if _, err := d.Forward(ctx, tensor.MustNew(3)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Backward(tensor.MustNew(3)); err == nil {
+	if _, err := d.Backward(ctx, tensor.MustNew(3)); err == nil {
 		t.Error("wrong gradient length should fail")
 	}
 }
 
 func TestLRNForwardKnown(t *testing.T) {
+	ctx := NewContext()
 	l, err := NewLRN("l", 3, 1, 1, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -366,7 +378,7 @@ func TestLRNForwardKnown(t *testing.T) {
 	// Single pixel, 2 channels, window 3 (half=1), k=1, α=1, β=1, n=3:
 	// denom_0 = 1 + (1/3)(x0²+x1²), y_0 = x0/denom_0.
 	x := tensor.MustFromSlice([]float32{3, 4}, 2, 1, 1)
-	out, err := l.Forward(x)
+	out, err := l.Forward(ctx, x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -388,6 +400,7 @@ func TestLRNGradCheck(t *testing.T) {
 }
 
 func TestLRNValidation(t *testing.T) {
+	ctx := NewContext()
 	if _, err := NewLRN("l", 0, 1, 1, 1); err == nil {
 		t.Error("window 0 should fail")
 	}
@@ -398,21 +411,22 @@ func TestLRNValidation(t *testing.T) {
 		t.Error("zero beta should fail")
 	}
 	l := NewAlexNetLRN("l")
-	if _, err := l.Forward(tensor.MustNew(4)); err == nil {
+	if _, err := l.Forward(ctx, tensor.MustNew(4)); err == nil {
 		t.Error("rank-1 input should fail")
 	}
-	if _, err := l.Backward(tensor.MustNew(1, 1, 1)); err == nil {
+	if _, err := l.Backward(ctx, tensor.MustNew(1, 1, 1)); err == nil {
 		t.Error("backward before forward should fail")
 	}
-	if _, err := l.Forward(tensor.MustNew(2, 2, 2)); err != nil {
+	if _, err := l.Forward(ctx, tensor.MustNew(2, 2, 2)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := l.Backward(tensor.MustNew(3, 2, 2)); err == nil {
+	if _, err := l.Backward(ctx, tensor.MustNew(3, 2, 2)); err == nil {
 		t.Error("wrong gradient shape should fail")
 	}
 }
 
 func TestDropout(t *testing.T) {
+	ctx := NewContext()
 	rng := rand.New(rand.NewSource(11))
 	d, err := NewDropout("d", 0.5, rng)
 	if err != nil {
@@ -421,7 +435,7 @@ func TestDropout(t *testing.T) {
 	x := tensor.MustNew(1000)
 	x.Fill(1)
 	// Inference: identity.
-	out, err := d.Forward(x)
+	out, err := d.Forward(ctx, x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -430,7 +444,7 @@ func TestDropout(t *testing.T) {
 	}
 	g := tensor.MustNew(1000)
 	g.Fill(1)
-	dg, err := d.Backward(g)
+	dg, err := d.Backward(ctx, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -438,8 +452,8 @@ func TestDropout(t *testing.T) {
 		t.Error("inference dropout backward should be identity")
 	}
 	// Training: ~half dropped, survivors scaled ×2, expectation preserved.
-	d.SetTraining(true)
-	out, err = d.Forward(x)
+	ctx.SetTraining(true)
+	out, err = d.Forward(ctx, x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -457,7 +471,7 @@ func TestDropout(t *testing.T) {
 	if m := out.Mean(); math.Abs(m-1) > 0.15 {
 		t.Errorf("dropout mean = %v, want ~1 (inverted scaling)", m)
 	}
-	dg, err = d.Backward(g)
+	dg, err = d.Backward(ctx, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -520,6 +534,7 @@ func TestSoftmaxHelper(t *testing.T) {
 }
 
 func TestSequentialWiring(t *testing.T) {
+	ctx := NewContext()
 	rng := rand.New(rand.NewSource(12))
 	net, err := NewMicroAlexNet(MicroConfig{
 		InputSize: 16, Conv1Filters: 4, Conv1Kernel: 3, Conv2Filters: 4,
@@ -530,7 +545,7 @@ func TestSequentialWiring(t *testing.T) {
 	}
 	x := tensor.MustNew(3, 16, 16)
 	x.FillUniform(rng, 0, 1)
-	logits, err := net.Forward(x)
+	logits, err := net.Forward(ctx, x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -545,7 +560,7 @@ func TestSequentialWiring(t *testing.T) {
 		t.Errorf("loss = %v, want > 0", loss)
 	}
 	net.ZeroGrads()
-	dx, err := net.Backward(grad)
+	dx, err := net.Backward(ctx, grad)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -575,6 +590,7 @@ func TestSequentialWiring(t *testing.T) {
 }
 
 func TestSequentialForwardFrom(t *testing.T) {
+	ctx := NewContext()
 	rng := rand.New(rand.NewSource(13))
 	cfg := MicroConfig{InputSize: 16, Conv1Filters: 4, Conv1Kernel: 3,
 		Conv2Filters: 4, Hidden: 8, Classes: 3, UseLRN: false}
@@ -584,7 +600,7 @@ func TestSequentialForwardFrom(t *testing.T) {
 	}
 	x := tensor.MustNew(3, 16, 16)
 	x.FillUniform(rng, 0, 1)
-	full, err := net.Forward(x)
+	full, err := net.Forward(ctx, x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -593,18 +609,18 @@ func TestSequentialForwardFrom(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mid, err := conv.Forward(x)
+	mid, err := conv.Forward(ctx, x)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rest, err := net.ForwardFrom(1, mid)
+	rest, err := net.ForwardFrom(ctx, 1, mid)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !full.AllClose(rest, 1e-6) {
 		t.Error("ForwardFrom disagrees with full forward")
 	}
-	if _, err := net.ForwardFrom(-1, mid); err == nil {
+	if _, err := net.ForwardFrom(ctx, -1, mid); err == nil {
 		t.Error("negative from should fail")
 	}
 	if _, err := net.Layer(99); err == nil {
@@ -687,6 +703,7 @@ func TestFirstConv(t *testing.T) {
 }
 
 func TestSaveLoadWeights(t *testing.T) {
+	ctx := NewContext()
 	rng := rand.New(rand.NewSource(16))
 	cfg := MicroConfig{InputSize: 16, Conv1Filters: 4, Conv1Kernel: 3,
 		Conv2Filters: 4, Hidden: 8, Classes: 3, UseLRN: true}
@@ -713,11 +730,11 @@ func TestSaveLoadWeights(t *testing.T) {
 	// Outputs agree.
 	x := tensor.MustNew(3, 16, 16)
 	x.FillUniform(rng, 0, 1)
-	oa, err := a.Forward(x)
+	oa, err := a.Forward(ctx, x)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ob, err := b.Forward(x)
+	ob, err := b.Forward(ctx, x)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -780,6 +797,7 @@ func TestFullAlexNetConstruction(t *testing.T) {
 }
 
 func TestAlexNetForwardShape(t *testing.T) {
+	ctx := NewContext()
 	if testing.Short() {
 		t.Skip("full AlexNet forward is expensive; skipped in -short")
 	}
@@ -790,7 +808,7 @@ func TestAlexNetForwardShape(t *testing.T) {
 	}
 	x := tensor.MustNew(3, AlexNetInputSize, AlexNetInputSize)
 	x.FillUniform(rng, 0, 1)
-	logits, err := net.Forward(x)
+	logits, err := net.Forward(ctx, x)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,7 +13,10 @@ type MaxPool2D struct {
 	name   string
 	k      int
 	stride int
+}
 
+// poolState is the per-context forward cache.
+type poolState struct {
 	lastShape  []int
 	argmax     []int // linear input index of each output's max
 	outC       int
@@ -40,7 +43,10 @@ func (p *MaxPool2D) Name() string { return p.name }
 func (p *MaxPool2D) Params() []*Param { return nil }
 
 // Forward implements Layer.
-func (p *MaxPool2D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+func (p *MaxPool2D) Forward(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: pool %q forward needs a context", p.name)
+	}
 	if x.Rank() != 3 {
 		return nil, fmt.Errorf("nn: pool %q wants CHW input, got %v", p.name, x.Shape())
 	}
@@ -53,10 +59,15 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	if outH < 1 || outW < 1 {
 		return nil, fmt.Errorf("nn: pool %q window %d does not fit input %dx%d", p.name, p.k, h, w)
 	}
-	p.lastShape = x.Shape()
-	p.outC, p.outH, p.outW = c, outH, outW
+	st := ctx.state(p, func() any { return &poolState{} }).(*poolState)
+	st.lastShape = x.Shape()
+	st.outC, st.outH, st.outW = c, outH, outW
 	out := tensor.MustNew(c, outH, outW)
-	p.argmax = make([]int, c*outH*outW)
+	if cap(st.argmax) >= c*outH*outW {
+		st.argmax = st.argmax[:c*outH*outW]
+	} else {
+		st.argmax = make([]int, c*outH*outW)
+	}
 	in, od := x.Data(), out.Data()
 	for ch := 0; ch < c; ch++ {
 		chBase := ch * h * w
@@ -77,7 +88,7 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 				}
 				oIdx := (ch*outH+oy)*outW + ox
 				od[oIdx] = best
-				p.argmax[oIdx] = bestIdx
+				st.argmax[oIdx] = bestIdx
 			}
 		}
 	}
@@ -85,17 +96,21 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 }
 
 // Backward implements Layer: the gradient routes to each window's argmax.
-func (p *MaxPool2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
-	if p.argmax == nil {
+func (p *MaxPool2D) Backward(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: pool %q backward needs a context", p.name)
+	}
+	st, ok := ctx.states[p].(*poolState)
+	if !ok || st.argmax == nil {
 		return nil, fmt.Errorf("nn: pool %q backward before forward", p.name)
 	}
-	if grad.Rank() != 3 || grad.Dim(0) != p.outC || grad.Dim(1) != p.outH || grad.Dim(2) != p.outW {
+	if grad.Rank() != 3 || grad.Dim(0) != st.outC || grad.Dim(1) != st.outH || grad.Dim(2) != st.outW {
 		return nil, fmt.Errorf("nn: pool %q wants (%d,%d,%d) gradient, got %v",
-			p.name, p.outC, p.outH, p.outW, grad.Shape())
+			p.name, st.outC, st.outH, st.outW, grad.Shape())
 	}
-	dx := tensor.MustNew(p.lastShape...)
+	dx := tensor.MustNew(st.lastShape...)
 	dxd, g := dx.Data(), grad.Data()
-	for i, src := range p.argmax {
+	for i, src := range st.argmax {
 		dxd[src] += g[i]
 	}
 	return dx, nil
@@ -104,8 +119,11 @@ func (p *MaxPool2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 // ReLU is the rectified linear activation.
 type ReLU struct {
 	name string
+}
+
+// reluState is the per-context activation mask.
+type reluState struct {
 	mask []bool
-	dims []int
 }
 
 var _ Layer = (*ReLU)(nil)
@@ -120,15 +138,23 @@ func (r *ReLU) Name() string { return r.name }
 func (r *ReLU) Params() []*Param { return nil }
 
 // Forward implements Layer.
-func (r *ReLU) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+func (r *ReLU) Forward(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: relu %q forward needs a context", r.name)
+	}
+	st := ctx.state(r, func() any { return &reluState{} }).(*reluState)
 	out := x.Clone()
 	d := out.Data()
-	r.mask = make([]bool, len(d))
-	r.dims = x.Shape()
+	if cap(st.mask) >= len(d) {
+		st.mask = st.mask[:len(d)]
+	} else {
+		st.mask = make([]bool, len(d))
+	}
 	for i, v := range d {
 		if v > 0 {
-			r.mask[i] = true
+			st.mask[i] = true
 		} else {
+			st.mask[i] = false
 			d[i] = 0
 		}
 	}
@@ -136,17 +162,21 @@ func (r *ReLU) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 }
 
 // Backward implements Layer.
-func (r *ReLU) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
-	if r.mask == nil {
+func (r *ReLU) Backward(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: relu %q backward needs a context", r.name)
+	}
+	st, ok := ctx.states[r].(*reluState)
+	if !ok || st.mask == nil {
 		return nil, fmt.Errorf("nn: relu %q backward before forward", r.name)
 	}
-	if grad.Len() != len(r.mask) {
+	if grad.Len() != len(st.mask) {
 		return nil, fmt.Errorf("nn: relu %q gradient length %d != cached %d",
-			r.name, grad.Len(), len(r.mask))
+			r.name, grad.Len(), len(st.mask))
 	}
 	dx := grad.Clone()
 	d := dx.Data()
-	for i, on := range r.mask {
+	for i, on := range st.mask {
 		if !on {
 			d[i] = 0
 		}
@@ -157,6 +187,10 @@ func (r *ReLU) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 // Flatten reshapes a CHW tensor to a flat vector.
 type Flatten struct {
 	name string
+}
+
+// flattenState is the per-context shape cache.
+type flattenState struct {
 	dims []int
 }
 
@@ -172,17 +206,25 @@ func (f *Flatten) Name() string { return f.name }
 func (f *Flatten) Params() []*Param { return nil }
 
 // Forward implements Layer.
-func (f *Flatten) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
-	f.dims = x.Shape()
+func (f *Flatten) Forward(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: flatten %q forward needs a context", f.name)
+	}
+	st := ctx.state(f, func() any { return &flattenState{} }).(*flattenState)
+	st.dims = x.Shape()
 	return x.Reshape(x.Len())
 }
 
 // Backward implements Layer.
-func (f *Flatten) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
-	if f.dims == nil {
+func (f *Flatten) Backward(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: flatten %q backward needs a context", f.name)
+	}
+	st, ok := ctx.states[f].(*flattenState)
+	if !ok || st.dims == nil {
 		return nil, fmt.Errorf("nn: flatten %q backward before forward", f.name)
 	}
-	return grad.Reshape(f.dims...)
+	return grad.Reshape(st.dims...)
 }
 
 // Kernel returns the pooling window side.

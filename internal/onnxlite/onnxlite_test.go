@@ -78,11 +78,12 @@ func TestExportImportRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	x := tensor.MustNew(3, 16, 16)
 	x.FillUniform(rng, 0, 1)
-	a, err := net.Forward(x)
+	nctx := nn.NewContext()
+	a, err := net.Forward(nctx, x)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := net2.Forward(x)
+	b, err := net2.Forward(nn.NewContext(), x)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,57 @@
+package pool
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllItems(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		var hits [50]atomic.Int32
+		if err := Run(50, workers, func(worker, i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestRunErrorWrapsIndexAndCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := Run(10_000, 4, func(worker, i int) error {
+		ran.Add(1)
+		if i == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); int(n) == 10_000 {
+		t.Error("error did not cancel remaining work")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := Run(0, 2, func(worker, i int) error { return nil }); err != nil {
+		t.Error("empty run should succeed")
+	}
+	if err := Run(-1, 2, func(worker, i int) error { return nil }); err == nil {
+		t.Error("negative n should fail")
+	}
+	if err := Run(1, 2, nil); err == nil {
+		t.Error("nil fn should fail")
+	}
+	if err := Run(1, 0, func(worker, i int) error { return nil }); err == nil {
+		t.Error("zero workers should fail")
+	}
+}

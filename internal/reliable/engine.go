@@ -30,13 +30,25 @@ func (s *Stats) Add(other Stats) {
 	s.Retries += other.Retries
 }
 
+// Sub removes other from s — the delta step for per-inference counters
+// read off a long-lived (per-worker) engine.
+func (s *Stats) Sub(other Stats) {
+	s.Ops -= other.Ops
+	s.Failed -= other.Failed
+	s.Retries -= other.Retries
+}
+
 // Engine executes overloaded operations under the Algorithm 3 protocol:
 // every operation is assumed to have failed unless its qualifier asserts
 // otherwise; a failed operation raises the leaky bucket by its factor and —
 // if the bucket has not tripped — is retried (the rollback distance is one
 // operation); a correct operation drains the bucket by one.
 //
-// Engine is not safe for concurrent use; create one per goroutine.
+// Engine is not safe for concurrent use. The system-wide idiom is
+// per-worker engines: the execution layer (internal/infer) builds one
+// engine per pool worker via its EngineFactory and aggregates their Stats,
+// and internal/core resets the leaky bucket between inferences so each
+// classification keeps the per-execution error-counter semantics.
 type Engine struct {
 	ops    Ops
 	bucket *LeakyBucket

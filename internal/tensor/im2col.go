@@ -1,0 +1,121 @@
+package tensor
+
+import "fmt"
+
+// Im2col / Col2im lower 2-D convolution onto GEMM: each k×k receptive field
+// of a CHW input becomes one column of a (C·k·k) × (outH·outW) matrix, so
+// the convolution with an (F, C, k, k) filter bank is a single
+// (F) × (C·k·k) · (C·k·k) × (outH·outW) matrix product.
+//
+// Both functions are allocation-free over caller-provided slices and carry no
+// state, so they are safe for concurrent use with per-caller buffers.
+
+// ConvOut returns the output spatial extent of a convolution of kernel k
+// with the given stride and padding over an input extent of in, or 0 if the
+// kernel does not fit (in+2·pad < k). The explicit fit check matters:
+// Go's truncating division would otherwise map a negative numerator to
+// extent 1 and silently convolve past the input's edge.
+func ConvOut(in, k, stride, pad int) int {
+	if in+2*pad < k {
+		return 0
+	}
+	return (in+2*pad-k)/stride + 1
+}
+
+// Im2col expands the CHW input src (c×h×w) into dst as a row-major
+// (c·k·k) × (outH·outW) matrix, where row (ch·k+ky)·k+kx holds the input
+// value each output position sees through kernel tap (ch, ky, kx); padding
+// positions are zero. dst must hold c·k·k·outH·outW elements (use ConvOut
+// for the output extents); it returns an error otherwise.
+func Im2col(dst, src []float32, c, h, w, k, stride, pad int) error {
+	outH := ConvOut(h, k, stride, pad)
+	outW := ConvOut(w, k, stride, pad)
+	if outH < 1 || outW < 1 {
+		return fmt.Errorf("tensor: im2col kernel %d (stride %d, pad %d) does not fit input %dx%d",
+			k, stride, pad, h, w)
+	}
+	n := outH * outW
+	if len(dst) < c*k*k*n {
+		return fmt.Errorf("tensor: im2col dst length %d < %d", len(dst), c*k*k*n)
+	}
+	if len(src) < c*h*w {
+		return fmt.Errorf("tensor: im2col src length %d < %d", len(src), c*h*w)
+	}
+	for ch := 0; ch < c; ch++ {
+		chBase := ch * h * w
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				row := dst[((ch*k+ky)*k+kx)*n : ((ch*k+ky)*k+kx)*n+n]
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride - pad + ky
+					out := row[oy*outW : (oy+1)*outW]
+					if iy < 0 || iy >= h {
+						for i := range out {
+							out[i] = 0
+						}
+						continue
+					}
+					in := src[chBase+iy*w : chBase+(iy+1)*w]
+					ix := -pad + kx
+					if stride == 1 && ix >= 0 && ix+outW <= w {
+						copy(out, in[ix:ix+outW])
+						continue
+					}
+					for ox := 0; ox < outW; ox++ {
+						if ix >= 0 && ix < w {
+							out[ox] = in[ix]
+						} else {
+							out[ox] = 0
+						}
+						ix += stride
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Col2im scatters a (c·k·k) × (outH·outW) column matrix back onto the CHW
+// plane dst (c×h×w), accumulating overlapping contributions — the adjoint of
+// Im2col and the heart of the convolution backward pass. dst is accumulated
+// into, not cleared; zero it first for a plain gradient.
+func Col2im(dst, cols []float32, c, h, w, k, stride, pad int) error {
+	outH := ConvOut(h, k, stride, pad)
+	outW := ConvOut(w, k, stride, pad)
+	if outH < 1 || outW < 1 {
+		return fmt.Errorf("tensor: col2im kernel %d (stride %d, pad %d) does not fit input %dx%d",
+			k, stride, pad, h, w)
+	}
+	n := outH * outW
+	if len(cols) < c*k*k*n {
+		return fmt.Errorf("tensor: col2im cols length %d < %d", len(cols), c*k*k*n)
+	}
+	if len(dst) < c*h*w {
+		return fmt.Errorf("tensor: col2im dst length %d < %d", len(dst), c*h*w)
+	}
+	for ch := 0; ch < c; ch++ {
+		chBase := ch * h * w
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				row := cols[((ch*k+ky)*k+kx)*n : ((ch*k+ky)*k+kx)*n+n]
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride - pad + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					out := dst[chBase+iy*w : chBase+(iy+1)*w]
+					in := row[oy*outW : (oy+1)*outW]
+					ix := -pad + kx
+					for ox := 0; ox < outW; ox++ {
+						if ix >= 0 && ix < w {
+							out[ix] += in[ox]
+						}
+						ix += stride
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package tensor
+
+import "fmt"
+
+// Blocked GEMM kernels over row-major float32 slices. These are the compute
+// substrate of the im2col convolution path (internal/nn) and are written for
+// the shapes that path produces: tall-skinny and fat-short matrices with a
+// few hundred to a few thousand elements per side.
+//
+// The kernels carry no state and never allocate, so they are safe for
+// concurrent use; callers own the slices.
+//
+// Loop order is i–l–j (axpy style): the innermost loop walks contiguous rows
+// of both B and C, which the compiler turns into bounds-check-free streaming
+// code. Blocking over (i, l) keeps a panel of B resident in cache while a
+// block of A rows is consumed.
+
+const (
+	// gemmBlockM is the number of A/C rows processed per B panel.
+	gemmBlockM = 64
+	// gemmBlockK is the depth of the B panel kept cache-resident.
+	gemmBlockK = 128
+)
+
+// Gemm computes dst = a·b for row-major a (m×k), b (k×n), dst (m×n),
+// overwriting dst. Slices must have at least m*k, k*n and m*n elements;
+// the function panics otherwise (programming error, not runtime input).
+func Gemm(dst, a, b []float32, m, k, n int) {
+	checkGemm(len(dst), len(a), len(b), m, k, n)
+	for i := range dst[:m*n] {
+		dst[i] = 0
+	}
+	gemmAcc(dst, a, b, m, k, n)
+}
+
+// GemmAcc computes dst += a·b with the same layout contract as Gemm.
+func GemmAcc(dst, a, b []float32, m, k, n int) {
+	checkGemm(len(dst), len(a), len(b), m, k, n)
+	gemmAcc(dst, a, b, m, k, n)
+}
+
+func gemmAcc(dst, a, b []float32, m, k, n int) {
+	for i0 := 0; i0 < m; i0 += gemmBlockM {
+		iMax := min(i0+gemmBlockM, m)
+		for l0 := 0; l0 < k; l0 += gemmBlockK {
+			lMax := min(l0+gemmBlockK, k)
+			for i := i0; i < iMax; i++ {
+				cr := dst[i*n : (i+1)*n]
+				ar := a[i*k+l0 : i*k+lMax]
+				for li, av := range ar {
+					if av == 0 {
+						continue
+					}
+					br := b[(l0+li)*n : (l0+li)*n+n]
+					for j, bv := range br {
+						cr[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// GemmTA computes dst += aᵀ·b for row-major a (k×m), b (k×n), dst (m×n).
+// This is the dX step of the convolution backward pass
+// (columns gradient = Wᵀ · dY).
+func GemmTA(dst, a, b []float32, m, k, n int) {
+	if len(a) < k*m || len(b) < k*n || len(dst) < m*n {
+		panic(fmt.Sprintf("tensor: gemmTA operand lengths (%d,%d,%d) too short for m=%d k=%d n=%d",
+			len(dst), len(a), len(b), m, k, n))
+	}
+	for l0 := 0; l0 < k; l0 += gemmBlockK {
+		lMax := min(l0+gemmBlockK, k)
+		for i0 := 0; i0 < m; i0 += gemmBlockM {
+			iMax := min(i0+gemmBlockM, m)
+			for l := l0; l < lMax; l++ {
+				ar := a[l*m+i0 : l*m+iMax]
+				br := b[l*n : (l+1)*n]
+				for ii, av := range ar {
+					if av == 0 {
+						continue
+					}
+					cr := dst[(i0+ii)*n : (i0+ii)*n+n]
+					for j, bv := range br {
+						cr[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// GemmTB computes dst += a·bᵀ for row-major a (m×k), b (n×k), dst (m×n).
+// The inner step is a dot product of two contiguous rows, which is the
+// dW accumulation of the convolution backward pass (dW += dY · colsᵀ).
+func GemmTB(dst, a, b []float32, m, k, n int) {
+	if len(a) < m*k || len(b) < n*k || len(dst) < m*n {
+		panic(fmt.Sprintf("tensor: gemmTB operand lengths (%d,%d,%d) too short for m=%d k=%d n=%d",
+			len(dst), len(a), len(b), m, k, n))
+	}
+	for i := 0; i < m; i++ {
+		ar := a[i*k : (i+1)*k]
+		cr := dst[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			br := b[j*k : (j+1)*k]
+			var acc float32
+			for l, av := range ar {
+				acc += av * br[l]
+			}
+			cr[j] += acc
+		}
+	}
+}
+
+func checkGemm(ld, la, lb, m, k, n int) {
+	if m < 0 || k < 0 || n < 0 || la < m*k || lb < k*n || ld < m*n {
+		panic(fmt.Sprintf("tensor: gemm operand lengths (%d,%d,%d) too short for m=%d k=%d n=%d",
+			ld, la, lb, m, k, n))
+	}
+}
+
+// MatMul computes the matrix product of two rank-2 tensors: t (m×k) by
+// o (k×n), returning a new (m×n) tensor. It is the tensor-level face of the
+// blocked GEMM kernel.
+func (t *Tensor) MatMul(o *Tensor) (*Tensor, error) {
+	if t.Rank() != 2 || o.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: matmul wants rank-2 operands, got %v × %v", t.shape, o.shape)
+	}
+	m, k := t.shape[0], t.shape[1]
+	if o.shape[0] != k {
+		return nil, fmt.Errorf("tensor: matmul inner dims mismatch %v × %v", t.shape, o.shape)
+	}
+	n := o.shape[1]
+	out, err := New(m, n)
+	if err != nil {
+		return nil, err
+	}
+	Gemm(out.data, t.data, o.data, m, k, n)
+	return out, nil
+}
+
+// GrowSlice returns buf if it has capacity for n elements (re-sliced to
+// length n, contents unspecified) or a freshly allocated slice otherwise.
+// It is the reuse primitive behind the per-context scratch buffers.
+func GrowSlice(buf []float32, n int) []float32 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float32, n)
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/gtsrb"
+	"repro/internal/infer"
 	"repro/internal/nn"
 )
 
@@ -116,9 +117,17 @@ func (m *ConfusionMatrix) String() string {
 	return b.String()
 }
 
-// Evaluate runs the network over the dataset and returns the confusion
-// matrix.
+// Evaluate runs the network over the dataset through the batched inference
+// engine (all cores) and returns the confusion matrix.
 func Evaluate(net *nn.Sequential, ds *gtsrb.Dataset) (*ConfusionMatrix, error) {
+	return EvaluateParallel(net, ds, 0)
+}
+
+// EvaluateParallel is Evaluate with an explicit worker count (0 = all
+// cores). Predictions are made through per-worker contexts over the shared
+// network and recorded in example order, so the matrix is identical for
+// every worker count.
+func EvaluateParallel(net *nn.Sequential, ds *gtsrb.Dataset, workers int) (*ConfusionMatrix, error) {
 	if net == nil || ds == nil || ds.Len() == 0 {
 		return nil, fmt.Errorf("train: evaluate needs a network and a non-empty dataset")
 	}
@@ -126,12 +135,24 @@ func Evaluate(net *nn.Sequential, ds *gtsrb.Dataset) (*ConfusionMatrix, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i, ex := range ds.Examples {
-		_, pred, err := nn.Predict(net, ex.Image)
+	pool, err := infer.New(net, infer.Config{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	preds := make([]int, ds.Len())
+	err = pool.Run(ds.Len(), func(w *infer.Worker, i int) error {
+		_, pred, err := nn.PredictCtx(w.Ctx, net, ds.Examples[i].Image)
 		if err != nil {
-			return nil, fmt.Errorf("train: evaluate example %d: %w", i, err)
+			return fmt.Errorf("train: evaluate example %d: %w", i, err)
 		}
-		if err := cm.Add(ex.Label, pred); err != nil {
+		preds[i] = pred
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, ex := range ds.Examples {
+		if err := cm.Add(ex.Label, preds[i]); err != nil {
 			return nil, err
 		}
 	}

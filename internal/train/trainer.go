@@ -3,13 +3,19 @@ package train
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/gtsrb"
 	"repro/internal/nn"
 )
 
 // Trainer drives mini-batch SGD over a dataset with optional filter-freeze
-// policies and an epoch callback.
+// policies and an epoch callback. With Workers > 1 each mini-batch is split
+// across a pool of goroutines running the SAME network through per-worker
+// contexts with shadow gradients (data-parallel backward); the shadows are
+// reduced into the canonical gradients before the optimiser step, so the
+// update rule is identical to the serial path up to floating-point
+// summation order and per-worker dropout streams.
 type Trainer struct {
 	// Net is the network to train.
 	Net *nn.Sequential
@@ -19,12 +25,16 @@ type Trainer struct {
 	BatchSize int
 	// Epochs is the number of passes over the data (default 5).
 	Epochs int
+	// Workers is the per-batch parallelism (default 1 = serial, bit-exact
+	// reproducible; more workers trade exact reproducibility for speed).
+	Workers int
 	// Freezes are the active filter-freeze policies.
 	Freezes []*FilterFreeze
 	// OnEpoch, when non-nil, is called after every epoch with the epoch
 	// index (0-based) and mean training loss; returning an error aborts.
 	OnEpoch func(epoch int, meanLoss float64) error
-	// Rng shuffles the data each epoch.
+	// Rng shuffles the data each epoch and seeds the per-worker dropout
+	// streams.
 	Rng *rand.Rand
 }
 
@@ -51,6 +61,12 @@ func (t *Trainer) normalize() error {
 	if t.Epochs < 1 {
 		return fmt.Errorf("train: epochs %d must be >= 1", t.Epochs)
 	}
+	if t.Workers == 0 {
+		t.Workers = 1
+	}
+	if t.Workers < 1 {
+		return fmt.Errorf("train: workers %d must be >= 1", t.Workers)
+	}
 	return nil
 }
 
@@ -63,8 +79,20 @@ func (t *Trainer) Fit(ds *gtsrb.Dataset) (float64, error) {
 	if ds == nil || ds.Len() == 0 {
 		return 0, fmt.Errorf("train: empty dataset")
 	}
-	t.Net.SetTraining(true)
-	defer t.Net.SetTraining(false)
+
+	// One training context per worker. Workers accumulate gradients into
+	// context-local shadows (raceless); the serial single-worker path
+	// accumulates into the canonical gradients directly.
+	ctxs := make([]*nn.Context, t.Workers)
+	for i := range ctxs {
+		ctx := nn.NewContext()
+		ctx.SetTraining(true)
+		ctx.SetRand(rand.New(rand.NewSource(t.Rng.Int63())))
+		if t.Workers > 1 {
+			ctx.ShadowGrads(true)
+		}
+		ctxs[i] = ctx
+	}
 
 	order := make([]int, ds.Len())
 	for i := range order {
@@ -81,22 +109,12 @@ func (t *Trainer) Fit(ds *gtsrb.Dataset) (float64, error) {
 				end = len(order)
 			}
 			t.Net.ZeroGrads()
-			for _, idx := range order[start:end] {
-				ex := ds.Examples[idx]
-				logits, err := t.Net.Forward(ex.Image)
-				if err != nil {
-					return 0, fmt.Errorf("train: epoch %d forward: %w", epoch, err)
-				}
-				loss, grad, err := nn.CrossEntropyLoss(logits, ex.Label)
-				if err != nil {
-					return 0, fmt.Errorf("train: epoch %d loss: %w", epoch, err)
-				}
-				lossSum += loss
-				seen++
-				if _, err := t.Net.Backward(grad); err != nil {
-					return 0, fmt.Errorf("train: epoch %d backward: %w", epoch, err)
-				}
+			batchLoss, err := t.runBatch(ctxs, ds, order[start:end], epoch)
+			if err != nil {
+				return 0, err
 			}
+			lossSum += batchLoss
+			seen += end - start
 			for _, f := range t.Freezes {
 				if err := f.BeforeStep(); err != nil {
 					return 0, fmt.Errorf("train: epoch %d freeze: %w", epoch, err)
@@ -124,4 +142,68 @@ func (t *Trainer) Fit(ds *gtsrb.Dataset) (float64, error) {
 		}
 	}
 	return lastMean, nil
+}
+
+// runBatch runs forward/backward over one mini-batch, serially or across
+// the worker contexts, and leaves the summed gradients in the canonical
+// Param.Grad tensors. It returns the batch's total loss.
+func (t *Trainer) runBatch(ctxs []*nn.Context, ds *gtsrb.Dataset, batch []int, epoch int) (float64, error) {
+	if len(ctxs) == 1 {
+		return t.runSamples(ctxs[0], ds, batch, epoch)
+	}
+	workers := len(ctxs)
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	// Contiguous shards, one per worker: sample order inside a shard is
+	// deterministic given the epoch shuffle.
+	losses := make([]float64, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo := len(batch) * w / workers
+		hi := len(batch) * (w + 1) / workers
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			losses[w], errs[w] = t.runSamples(ctxs[w], ds, batch[lo:hi], epoch)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var loss float64
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return 0, errs[w]
+		}
+		loss += losses[w]
+	}
+	// Reduce the shadow gradients into the canonical accumulators.
+	for w := 0; w < workers; w++ {
+		if err := ctxs[w].FlushGrads(); err != nil {
+			return 0, fmt.Errorf("train: epoch %d reduce: %w", epoch, err)
+		}
+	}
+	return loss, nil
+}
+
+// runSamples processes samples through one context, accumulating gradients
+// into the context's target buffers, and returns the summed loss.
+func (t *Trainer) runSamples(ctx *nn.Context, ds *gtsrb.Dataset, idxs []int, epoch int) (float64, error) {
+	var lossSum float64
+	for _, idx := range idxs {
+		ex := ds.Examples[idx]
+		logits, err := t.Net.Forward(ctx, ex.Image)
+		if err != nil {
+			return 0, fmt.Errorf("train: epoch %d forward: %w", epoch, err)
+		}
+		loss, grad, err := nn.CrossEntropyLoss(logits, ex.Label)
+		if err != nil {
+			return 0, fmt.Errorf("train: epoch %d loss: %w", epoch, err)
+		}
+		lossSum += loss
+		if _, err := t.Net.Backward(ctx, grad); err != nil {
+			return 0, fmt.Errorf("train: epoch %d backward: %w", epoch, err)
+		}
+	}
+	return lossSum, nil
 }

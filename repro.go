@@ -31,6 +31,7 @@ package repro
 import (
 	"repro/internal/core"
 	"repro/internal/gtsrb"
+	"repro/internal/infer"
 	"repro/internal/nn"
 	"repro/internal/reliable"
 	"repro/internal/shape"
@@ -62,6 +63,14 @@ type (
 	LeakyBucket = reliable.LeakyBucket
 	// Dataset is a labelled synthetic traffic-sign collection.
 	Dataset = gtsrb.Dataset
+	// BatchEngine is the worker-pool execution layer for batched,
+	// concurrency-safe shared-weight inference.
+	BatchEngine = infer.BatchEngine
+	// BatchConfig parameterises a BatchEngine.
+	BatchConfig = infer.Config
+	// ForwardContext carries the per-goroutine mutable state of a
+	// forward/backward pass (one per worker).
+	ForwardContext = nn.Context
 )
 
 // Re-exported enumerations.
@@ -99,4 +108,10 @@ func NewHybridNetwork(cfg HybridConfig, net *Network) (*HybridNetwork, error) {
 // environment and protection configuration.
 func ComputeGuarantee(params GuaranteeParams) (Guarantee, error) {
 	return core.ComputeGuarantee(params)
+}
+
+// NewBatchEngine builds a worker pool over net for batched shared-weight
+// inference (see internal/infer). Workers 0 defaults to GOMAXPROCS.
+func NewBatchEngine(net *Network, cfg BatchConfig) (*BatchEngine, error) {
+	return infer.New(net, cfg)
 }
