@@ -8,10 +8,12 @@ package repro_test
 // Paper-scale only: go test -bench=Full -benchmem   (tens of seconds)
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -20,6 +22,7 @@ import (
 	"repro/internal/infer"
 	"repro/internal/nn"
 	"repro/internal/reliable"
+	"repro/internal/serve"
 	"repro/internal/shape"
 	"repro/internal/tensor"
 )
@@ -236,6 +239,78 @@ func BenchmarkBatchEngine_Throughput(b *testing.B) {
 			}
 			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "samples/s")
 		})
+	}
+}
+
+// Scheduler throughput — the async serving path end to end: concurrent
+// submitters → micro-batching scheduler → persistent BatchClassifier pool.
+// The sweep crosses the flush threshold with the delay bound; samples/op
+// shows the occupancy/latency trade (imgs/batch is the realised mean batch
+// size). Zero delay only coalesces under concurrent load; 2ms trades that
+// much queueing latency for fuller batches.
+
+func BenchmarkScheduler_Throughput(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	net, err := nn.NewMicroAlexNet(nn.MicroConfig{
+		InputSize: 32, Conv1Filters: 8, Conv1Kernel: 5,
+		Conv2Filters: 8, Hidden: 16, Classes: 6, UseLRN: false,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	conv1, err := nn.FirstConv(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pair, err := core.InstallSobelPair(conv1, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := core.NewHybridNetwork(core.Config{
+		Wiring: core.WiringBifurcated, Mode: core.ModeTemporalDMR, Pair: pair,
+		SafetyClasses: map[int]shape.Class{gtsrb.StopClass: shape.ClassOctagon},
+	}, net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := gtsrb.AngledStopSign(32, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, maxBatch := range []int{1, 8, 32} {
+		for _, delay := range []time.Duration{0, 500 * time.Microsecond, 2 * time.Millisecond} {
+			b.Run(fmt.Sprintf("batch=%d/delay=%s", maxBatch, delay), func(b *testing.B) {
+				bc, err := h.NewBatchClassifier(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, err := serve.New(bc, serve.Config{
+					MaxBatch: maxBatch, MaxDelay: delay, QueueSize: 1024,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.SetParallelism(4) // concurrent submitters per core
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						if _, err := s.Submit(context.Background(), img); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+				b.StopTimer()
+				st := s.Stats()
+				b.ReportMetric(float64(st.Completed)/b.Elapsed().Seconds(), "samples/s")
+				b.ReportMetric(st.MeanBatch, "imgs/batch")
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				if err := s.Shutdown(ctx); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
 	}
 }
 

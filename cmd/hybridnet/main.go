@@ -18,12 +18,12 @@ import (
 	"math/rand"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/gtsrb"
 	"repro/internal/nn"
 	"repro/internal/onnxlite"
-	"repro/internal/shape"
 	"repro/internal/train"
 )
 
@@ -111,11 +111,7 @@ func cmdTrain(args []string) error {
 	}
 	fmt.Printf("training accuracy: %.4f\n", acc)
 
-	hybridCfg := core.Config{
-		Wiring: core.WiringBifurcated, Mode: core.ModeTemporalDMR,
-		Pair:          pair,
-		SafetyClasses: map[int]shape.Class{gtsrb.StopClass: shape.ClassOctagon},
-	}
+	hybridCfg := cli.StandardHybridConfig(pair)
 	model, err := onnxlite.Export(net, &hybridCfg)
 	if err != nil {
 		return err
@@ -132,30 +128,6 @@ func cmdTrain(args []string) error {
 	return nil
 }
 
-func loadHybrid(path string, seed int64) (*core.HybridNetwork, *nn.Sequential, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, nil, err
-	}
-	defer f.Close()
-	model, err := onnxlite.ReadModel(f)
-	if err != nil {
-		return nil, nil, err
-	}
-	net, cfg, err := onnxlite.Import(model, rand.New(rand.NewSource(seed)))
-	if err != nil {
-		return nil, nil, err
-	}
-	if cfg == nil {
-		return nil, nil, fmt.Errorf("model %s carries no reliability annotations", path)
-	}
-	h, err := core.NewHybridNetwork(*cfg, net)
-	if err != nil {
-		return nil, nil, err
-	}
-	return h, net, nil
-}
-
 func cmdEval(args []string) error {
 	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
 	modelPath := fs.String("model", "model.json", "model path")
@@ -164,7 +136,7 @@ func cmdEval(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	_, net, err := loadHybrid(*modelPath, *seed)
+	_, net, err := cli.LoadHybrid(*modelPath, *seed)
 	if err != nil {
 		return err
 	}
@@ -190,7 +162,7 @@ func cmdQualify(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	h, _, err := loadHybrid(*modelPath, *seed)
+	h, _, err := cli.LoadHybrid(*modelPath, *seed)
 	if err != nil {
 		return err
 	}
@@ -246,15 +218,12 @@ func cmdCampaign(args []string) error {
 	if !ok {
 		return fmt.Errorf("unknown mode %q", *modeName)
 	}
-	_, net, err := loadHybrid(*modelPath, *seed)
+	_, net, err := cli.LoadHybrid(*modelPath, *seed)
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{
-		Wiring: core.WiringBifurcated, Mode: mode,
-		Pair:          core.SobelPair{XIdx: 0, YIdx: 1},
-		SafetyClasses: map[int]shape.Class{gtsrb.StopClass: shape.ClassOctagon},
-	}
+	cfg := cli.StandardHybridConfig(core.SobelPair{XIdx: 0, YIdx: 1})
+	cfg.Mode = mode
 	// Trials run across the worker pool; all randomness (ALU seeds, the
 	// rendered sign) derives from the trial index so the tally is
 	// independent of scheduling. The outcome mapping mirrors the serial

@@ -1,0 +1,285 @@
+// Command hybridnetd serves hybrid classifications over HTTP. It is the
+// asynchronous front-end of the stack: every POST /classify is a single
+// image; the internal/serve Scheduler coalesces concurrent requests into
+// micro-batches and flushes them to a persistent core.BatchClassifier
+// worker pool. Overload surfaces as fast 503s (bounded queue), slow
+// requests as 504s (per-request deadline), and SIGINT/SIGTERM drains the
+// queue before exiting.
+//
+// API:
+//
+//	POST /classify  {"sign":"stop","seed":7}  or  {"image_png":"<base64>"}
+//	GET  /healthz   liveness + queue depth
+//	GET  /stats     scheduler counters: queue depth, batch-size histogram,
+//	                p50/p99 latency, backend utilisation
+//
+// Run a trained model:   hybridnetd -model model.json
+// Run without a model:   hybridnetd -demo       (untrained weights; the
+// reliable path, qualifier and decisions are real — for smoke and load
+// testing only)
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/gtsrb"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hybridnetd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hybridnetd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	modelPath := fs.String("model", "", "onnxlite model path")
+	demo := fs.Bool("demo", false, "serve an untrained demo network instead of -model")
+	workers := fs.Int("workers", 0, "inference pool size (0 = all cores)")
+	maxBatch := fs.Int("max-batch", 8, "micro-batch flush threshold")
+	maxDelay := fs.Duration("max-delay", 2*time.Millisecond, "max wait for a batch to fill")
+	queueSize := fs.Int("queue", 64, "admission-control queue bound")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-request deadline")
+	size := fs.Int("size", 32, "input size for -demo and server-side rendering")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var h *core.HybridNetwork
+	var err error
+	switch {
+	case *demo && *modelPath != "":
+		return fmt.Errorf("-demo and -model are mutually exclusive")
+	case *demo:
+		h, _, err = cli.DemoHybrid(*size, 16, *seed)
+	case *modelPath != "":
+		h, _, err = cli.LoadHybrid(*modelPath, *seed)
+	default:
+		return fmt.Errorf("need -model or -demo")
+	}
+	if err != nil {
+		return err
+	}
+	bc, err := h.NewBatchClassifier(*workers)
+	if err != nil {
+		return err
+	}
+	sched, err := serve.New(bc, serve.Config{
+		MaxBatch: *maxBatch, MaxDelay: *maxDelay, QueueSize: *queueSize,
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := newServer(sched, *timeout, *size)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.mux()}
+	log.Printf("hybridnetd listening on %s (workers=%d max-batch=%d max-delay=%v queue=%d)",
+		ln.Addr(), bc.Workers(), *maxBatch, *maxDelay, *queueSize)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("hybridnetd shutting down: draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := sched.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	st := sched.Stats()
+	log.Printf("hybridnetd drained: %d completed in %d batches (mean %.2f)",
+		st.Completed, st.Batches, st.MeanBatch)
+	return nil
+}
+
+// server holds the HTTP handler state.
+type server struct {
+	sched   *serve.Scheduler
+	timeout time.Duration
+	size    int // server-side render size
+	start   time.Time
+}
+
+func newServer(sched *serve.Scheduler, timeout time.Duration, size int) *server {
+	return &server{sched: sched, timeout: timeout, size: size, start: time.Now()}
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/classify", s.handleClassify)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// classifyRequest is the POST /classify body: either a base64 PNG or the
+// name of a synthetic sign to render server-side (demo and load testing).
+type classifyRequest struct {
+	ImagePNG string `json:"image_png,omitempty"`
+	Sign     string `json:"sign,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+}
+
+type classifyResponse struct {
+	Class          int     `json:"class"`
+	ClassName      string  `json:"class_name"`
+	Confidence     float32 `json:"confidence"`
+	Decision       string  `json:"decision"`
+	QualifierShape string  `json:"qualifier_shape"`
+	ReliableOps    uint64  `json:"reliable_ops"`
+	ReliableRetry  uint64  `json:"reliable_retries"`
+	LatencyMS      float64 `json:"latency_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("hybridnetd: write response: %v", err)
+	}
+}
+
+func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return
+	}
+	var req classifyRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	img, err := s.decodeImage(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	start := time.Now()
+	res, err := s.sched.Submit(ctx, img)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, serve.ErrQueueFull), errors.Is(err, serve.ErrClosed):
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			// Client went away; the status is moot but 499-style close fits.
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, errorResponse{err.Error()})
+		return
+	}
+	resp := classifyResponse{
+		Class:          res.Class,
+		Confidence:     res.Confidence,
+		Decision:       res.Decision.String(),
+		QualifierShape: res.Qualifier.Class.String(),
+		ReliableOps:    res.Stats.Ops,
+		ReliableRetry:  res.Stats.Retries,
+		LatencyMS:      float64(time.Since(start).Microseconds()) / 1000,
+	}
+	if classes := gtsrb.StandardClasses(); res.Class >= 0 && res.Class < len(classes) {
+		resp.ClassName = classes[res.Class].Name
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeImage resolves the request body to a CHW tensor.
+func (s *server) decodeImage(req classifyRequest) (*tensor.Tensor, error) {
+	switch {
+	case req.ImagePNG != "" && req.Sign != "":
+		return nil, fmt.Errorf("image_png and sign are mutually exclusive")
+	case req.ImagePNG != "":
+		raw, err := base64.StdEncoding.DecodeString(req.ImagePNG)
+		if err != nil {
+			return nil, fmt.Errorf("image_png is not valid base64: %v", err)
+		}
+		img, err := gtsrb.ReadPNG(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("image_png: %v", err)
+		}
+		// Reject wrong-sized images at admission: a bad image inside a
+		// micro-batch would otherwise fail every request riding the same
+		// batch with a 500 instead of failing its own sender with a 400.
+		if img.Rank() != 3 || img.Dim(1) != s.size || img.Dim(2) != s.size {
+			return nil, fmt.Errorf("image_png must decode to %dx%d, got %dx%d (serve with matching -size)",
+				s.size, s.size, img.Dim(1), img.Dim(2))
+		}
+		return img, nil
+	case req.Sign != "":
+		var spec gtsrb.ClassSpec
+		found := false
+		for _, c := range gtsrb.StandardClasses() {
+			if c.Name == req.Sign {
+				spec, found = c, true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown sign %q", req.Sign)
+		}
+		cfg, err := gtsrb.Config{Size: s.size}.Normalize()
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(req.Seed))
+		return gtsrb.Render(gtsrb.RandomParams(cfg, spec, rng), rng)
+	default:
+		return nil, fmt.Errorf("need image_png or sign")
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.sched.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"queue_depth": st.QueueDepth,
+		"uptime_s":    time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.Stats())
+}

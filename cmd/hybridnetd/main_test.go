@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/gtsrb"
+	"repro/internal/serve"
+)
+
+// newTestServer wires a demo hybrid network behind the real scheduler and
+// HTTP mux, exactly as run() does.
+func newTestServer(t *testing.T) (*httptest.Server, *core.HybridNetwork) {
+	t.Helper()
+	h, _, err := cli.DemoHybrid(32, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := h.NewBatchClassifier(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := serve.New(bc, serve.Config{MaxBatch: 4, MaxDelay: time.Millisecond, QueueSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newServer(sched, 10*time.Second, 32).mux())
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := sched.Shutdown(ctx); err != nil {
+			t.Errorf("scheduler shutdown: %v", err)
+		}
+	})
+	return srv, h
+}
+
+func postClassify(t *testing.T, url string, body string) (*http.Response, classifyResponse, errorResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/classify", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	var ok classifyResponse
+	var fail errorResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(buf.Bytes(), &ok); err != nil {
+			t.Fatalf("decode %q: %v", buf.String(), err)
+		}
+	} else if err := json.Unmarshal(buf.Bytes(), &fail); err != nil {
+		t.Fatalf("decode error body %q: %v", buf.String(), err)
+	}
+	return resp, ok, fail
+}
+
+func TestClassifySign(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, got, _ := postClassify(t, srv.URL, `{"sign":"stop","seed":7}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got.ClassName == "" || got.Decision == "" || got.QualifierShape == "" {
+		t.Fatalf("incomplete response: %+v", got)
+	}
+	if got.ReliableOps == 0 {
+		t.Fatal("reliable path reported zero ops")
+	}
+}
+
+func TestClassifyPNGRoundTrip(t *testing.T) {
+	srv, h := newTestServer(t)
+	rng := rand.New(rand.NewSource(9))
+	img, err := gtsrb.AngledStopSign(32, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var png bytes.Buffer
+	if err := gtsrb.WritePNG(img, &png); err != nil {
+		t.Fatal(err)
+	}
+	// The served verdict must match a direct Classify of the identical
+	// PNG-decoded image — the HTTP + scheduler path adds no drift.
+	decoded, err := gtsrb.ReadPNG(bytes.NewReader(png.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := h.Classify(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(classifyRequest{ImagePNG: base64.StdEncoding.EncodeToString(png.Bytes())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, got, _ := postClassify(t, srv.URL, string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got.Class != want.Class || got.Decision != want.Decision.String() ||
+		got.QualifierShape != want.Qualifier.Class.String() || got.ReliableOps != want.Stats.Ops {
+		t.Fatalf("served (%d,%s,%s,%d) != direct (%d,%v,%v,%d)",
+			got.Class, got.Decision, got.QualifierShape, got.ReliableOps,
+			want.Class, want.Decision, want.Qualifier.Class, want.Stats.Ops)
+	}
+}
+
+func TestClassifyBadRequests(t *testing.T) {
+	srv, _ := newTestServer(t)
+	// A well-formed PNG of the wrong size must be rejected at admission —
+	// inside a micro-batch it would otherwise fail its co-batched riders.
+	wrongSize, err := gtsrb.AngledStopSign(16, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var png bytes.Buffer
+	if err := gtsrb.WritePNG(wrongSize, &png); err != nil {
+		t.Fatal(err)
+	}
+	cases := []string{
+		`not json`,
+		`{}`,
+		`{"sign":"no-such-sign"}`,
+		`{"sign":"stop","image_png":"AAAA"}`,
+		`{"image_png":"!!!"}`,
+		fmt.Sprintf(`{"image_png":%q}`, base64.StdEncoding.EncodeToString(png.Bytes())),
+	}
+	for _, body := range cases {
+		resp, _, fail := postClassify(t, srv.URL, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+		if fail.Error == "" {
+			t.Errorf("body %q: missing error message", body)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/classify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /classify: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	srv, _ := newTestServer(t)
+	// Put one request through so stats are non-trivial.
+	if resp, _, _ := postClassify(t, srv.URL, `{"sign":"yield"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("classify status %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["status"] != "ok" {
+		t.Fatalf("healthz: %v", health)
+	}
+
+	resp, err = http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Completed < 1 || stats.Batches < 1 || len(stats.BatchHist) == 0 {
+		t.Fatalf("stats not populated: %+v", stats)
+	}
+	if stats.LatencyP50 <= 0 || stats.LatencyP99 < stats.LatencyP50 {
+		t.Fatalf("latency quantiles inconsistent: p50=%v p99=%v", stats.LatencyP50, stats.LatencyP99)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no -model/-demo accepted")
+	}
+	if err := run([]string{"-demo", "-model", "x.json"}); err == nil {
+		t.Error("-demo with -model accepted")
+	}
+}

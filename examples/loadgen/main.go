@@ -1,0 +1,136 @@
+// Command loadgen drives a running hybridnetd at a configured request rate
+// and reports tail latency — the measurement half of the serving subsystem.
+// It is an open-loop generator: requests fire on a fixed schedule whether
+// or not earlier ones have completed, so queueing delay shows up in the
+// latency distribution instead of silently throttling the offered load.
+//
+//	go run ./cmd/hybridnetd -demo &
+//	go run ./examples/loadgen -addr http://127.0.0.1:8080 -rps 200 -duration 10s
+//
+// Rejections (HTTP 503, the daemon's admission control) are counted
+// separately from successes: under overload the right outcome is a fast
+// 503, not an ever-growing queue.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "hybridnetd base URL")
+	rps := flag.Float64("rps", 100, "offered request rate per second")
+	duration := flag.Duration("duration", 5*time.Second, "how long to drive load")
+	sign := flag.String("sign", "stop", "sign class to request")
+	concurrency := flag.Int("concurrency", 256, "max in-flight requests before shedding")
+	timeout := flag.Duration("timeout", 10*time.Second, "client request timeout")
+	flag.Parse()
+	if err := run(*addr, *rps, *duration, *sign, *concurrency, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type tally struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	status    map[int]int
+	errors    int
+	shed      int
+}
+
+func run(addr string, rps float64, duration time.Duration, sign string, concurrency int, timeout time.Duration) error {
+	if rps <= 0 {
+		return fmt.Errorf("rps must be > 0")
+	}
+	client := &http.Client{Timeout: timeout}
+	// Fail fast if the daemon is not there at all.
+	resp, err := client.Get(addr + "/healthz")
+	if err != nil {
+		return fmt.Errorf("daemon not reachable: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	t := &tally{status: map[int]int{}}
+	sem := make(chan struct{}, concurrency)
+	var wg sync.WaitGroup
+	interval := time.Duration(float64(time.Second) / rps)
+	deadline := time.Now().Add(duration)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	seq := 0
+	for now := time.Now(); now.Before(deadline); now = <-ticker.C {
+		seq++
+		select {
+		case sem <- struct{}{}:
+		default:
+			// Open loop: past the concurrency cap we shed instead of
+			// blocking the schedule.
+			t.mu.Lock()
+			t.shed++
+			t.mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func(seq int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			body := fmt.Sprintf(`{"sign":%q,"seed":%d}`, sign, seq)
+			start := time.Now()
+			resp, err := client.Post(addr+"/classify", "application/json", bytes.NewReader([]byte(body)))
+			if err != nil {
+				t.mu.Lock()
+				t.errors++
+				t.mu.Unlock()
+				return
+			}
+			// Drain outside the lock: body reads must not serialize the
+			// open-loop completions the tool is measuring.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lat := time.Since(start)
+			t.mu.Lock()
+			t.status[resp.StatusCode]++
+			if resp.StatusCode == http.StatusOK {
+				t.latencies = append(t.latencies, lat)
+			}
+			t.mu.Unlock()
+		}(seq)
+	}
+	wg.Wait()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sent := seq - t.shed
+	fmt.Printf("offered %d requests over %v (target %.0f rps); sent %d (%.1f rps)\n",
+		seq, duration, rps, sent, float64(sent)/duration.Seconds())
+	for code, n := range t.status {
+		fmt.Printf("  HTTP %d: %d\n", code, n)
+	}
+	if t.errors > 0 {
+		fmt.Printf("  transport errors: %d\n", t.errors)
+	}
+	if t.shed > 0 {
+		fmt.Printf("  shed at client (concurrency %d): %d\n", concurrency, t.shed)
+	}
+	if len(t.latencies) == 0 {
+		return fmt.Errorf("no successful requests")
+	}
+	sort.Slice(t.latencies, func(i, j int) bool { return t.latencies[i] < t.latencies[j] })
+	q := func(p float64) time.Duration {
+		return t.latencies[int(float64(len(t.latencies)-1)*p)]
+	}
+	fmt.Printf("latency (n=%d): p50 %v  p90 %v  p99 %v  max %v\n",
+		len(t.latencies), q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
+		q(0.99).Round(time.Microsecond), t.latencies[len(t.latencies)-1].Round(time.Microsecond))
+	fmt.Printf("success throughput: %.1f rps\n", float64(len(t.latencies))/duration.Seconds())
+	return nil
+}

@@ -1,0 +1,83 @@
+// Package cli holds the model-loading and network-construction plumbing
+// shared by the hybridnet CLI and the hybridnetd daemon, so the two
+// binaries cannot drift apart on how a hybrid network is assembled.
+package cli
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gtsrb"
+	"repro/internal/nn"
+	"repro/internal/onnxlite"
+	"repro/internal/shape"
+)
+
+// StandardHybridConfig is the canonical CLI assembly: bifurcated wiring,
+// temporal DMR, and the stop sign as the safety-critical class that must be
+// qualified as an octagon.
+func StandardHybridConfig(pair core.SobelPair) core.Config {
+	return core.Config{
+		Wiring: core.WiringBifurcated, Mode: core.ModeTemporalDMR,
+		Pair:          pair,
+		SafetyClasses: map[int]shape.Class{gtsrb.StopClass: shape.ClassOctagon},
+	}
+}
+
+// LoadHybrid reads an onnxlite model document and assembles the hybrid
+// network it describes. The seed feeds layer construction randomness
+// (dropout streams); the imported weights themselves are deterministic.
+func LoadHybrid(path string, seed int64) (*core.HybridNetwork, *nn.Sequential, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	model, err := onnxlite.ReadModel(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	net, cfg, err := onnxlite.Import(model, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg == nil {
+		return nil, nil, fmt.Errorf("model %s carries no reliability annotations", path)
+	}
+	h, err := core.NewHybridNetwork(*cfg, net)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, net, nil
+}
+
+// DemoHybrid builds an untrained micro network with the Sobel pair
+// installed and wraps it in the standard hybrid assembly. It exists for
+// smoke tests and demo serving (hybridnetd -demo): the reliable path,
+// qualifier and decision logic are all real, only the CNN weights are
+// random.
+func DemoHybrid(size, filters int, seed int64) (*core.HybridNetwork, *nn.Sequential, error) {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := nn.DefaultMicroConfig()
+	cfg.InputSize = size
+	cfg.Conv1Filters = filters
+	net, err := nn.NewMicroAlexNet(cfg, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	conv1, err := nn.FirstConv(net)
+	if err != nil {
+		return nil, nil, err
+	}
+	pair, err := core.InstallSobelPair(conv1, 0, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	h, err := core.NewHybridNetwork(StandardHybridConfig(pair), net)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, net, nil
+}

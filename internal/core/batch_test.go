@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/gtsrb"
@@ -86,6 +88,88 @@ func TestClassifyBatchMatchesSerial(t *testing.T) {
 						wiring, workers, i, got[i].Stats, want[i].Stats)
 				}
 			}
+		}
+	}
+}
+
+// TestBatchClassifierReuse: one persistent pool serves many batches —
+// including overlapping batches from concurrent goroutines, which serialize
+// through the engine's exclusive entry point — and every result matches the
+// fresh-engine Classify path. Run with -race this is the serving-layer gate.
+func TestBatchClassifierReuse(t *testing.T) {
+	net := trainedMicroNet(t)
+	conv1, err := nn.FirstConv(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := InstallSobelPair(conv1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHybridNetwork(Config{
+		Wiring: WiringBifurcated, Mode: ModeTemporalDMR,
+		Pair: pair, SafetyClasses: defaultSafety(),
+	}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	gcfg, err := gtsrb.Config{Size: 32}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgs := make([]*tensor.Tensor, 6)
+	want := make([]Result, len(imgs))
+	for i := range imgs {
+		spec := gtsrb.StandardClasses()[i%len(gtsrb.StandardClasses())]
+		img, err := gtsrb.Render(gtsrb.RandomParams(gcfg, spec, rng), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imgs[i] = img
+		res, err := h.Classify(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+
+	c, err := h.NewBatchClassifier(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Workers() != 2 {
+		t.Fatalf("workers = %d", c.Workers())
+	}
+	const rounds = 4
+	var wg sync.WaitGroup
+	wg.Add(rounds)
+	errs := make(chan error, rounds)
+	for r := 0; r < rounds; r++ {
+		go func() {
+			defer wg.Done()
+			got, err := c.ClassifyBatch(imgs)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := range got {
+				if got[i].Class != want[i].Class || got[i].Decision != want[i].Decision ||
+					got[i].Stats != want[i].Stats {
+					errs <- fmt.Errorf("img %d: (%d,%v,%+v) != serial (%d,%v,%+v)",
+						i, got[i].Class, got[i].Decision, got[i].Stats,
+						want[i].Class, want[i].Decision, want[i].Stats)
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
 		}
 	}
 }

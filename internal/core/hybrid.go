@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/infer"
 	"repro/internal/nn"
 	"repro/internal/reliable"
 	"repro/internal/shape"
@@ -275,32 +274,14 @@ func (h *HybridNetwork) classify(ctx *nn.Context, engine *reliable.Engine, img *
 // weights are shared across workers; each worker owns its forward context
 // and reliable engine, whose leaky bucket is reset between images so every
 // inference gets the per-execution error-counter semantics of Classify.
+// The pool is built per call; long-lived callers (serving layers) should
+// hold a BatchClassifier instead.
 func (h *HybridNetwork) ClassifyBatch(imgs []*tensor.Tensor, workers int) ([]Result, error) {
-	if workers < 0 {
-		workers = 0
-	}
-	pool, err := infer.New(h.net, infer.Config{Workers: workers, EngineFactory: h.newEngine})
+	c, err := h.NewBatchClassifier(workers)
 	if err != nil {
 		return nil, err
 	}
-	results := make([]Result, len(imgs))
-	err = pool.Run(len(imgs), func(w *infer.Worker, i int) error {
-		w.Engine.Bucket().Reset()
-		before := w.Engine.Stats()
-		res, err := h.classify(w.Ctx, w.Engine, imgs[i])
-		if err != nil {
-			return err
-		}
-		// The engine accumulates across the worker's items; report the
-		// per-inference delta, matching Classify's fresh-engine counters.
-		res.Stats.Sub(before)
-		results[i] = res
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return results, nil
+	return c.ClassifyBatch(imgs)
 }
 
 // classifyParallel implements Figure 1: reliable edge stage + qualifier in

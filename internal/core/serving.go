@@ -1,0 +1,58 @@
+package core
+
+import (
+	"repro/internal/infer"
+	"repro/internal/tensor"
+)
+
+// BatchClassifier is a persistent pooled hybrid classifier: the worker pool
+// — one forward context and one reliable engine per worker — is built once
+// and reused across every batch, so a serving layer pays the engine
+// construction cost at startup instead of per call. It is safe for
+// concurrent use: overlapping ClassifyBatch calls serialize through the
+// engine's exclusive entry point, each batch running with the full pool.
+type BatchClassifier struct {
+	h    *HybridNetwork
+	pool *infer.BatchEngine
+}
+
+// NewBatchClassifier builds the persistent pool (workers <= 0 defaults to
+// GOMAXPROCS) over the hybrid network's shared weights.
+func (h *HybridNetwork) NewBatchClassifier(workers int) (*BatchClassifier, error) {
+	if workers < 0 {
+		workers = 0
+	}
+	pool, err := infer.New(h.net, infer.Config{Workers: workers, EngineFactory: h.newEngine})
+	if err != nil {
+		return nil, err
+	}
+	return &BatchClassifier{h: h, pool: pool}, nil
+}
+
+// Workers returns the pool size.
+func (c *BatchClassifier) Workers() int { return c.pool.Workers() }
+
+// ClassifyBatch classifies every image across the pool, returning results
+// in input order. Each worker's leaky bucket is reset between images and
+// the reliable-work counters are reported as per-inference deltas, so every
+// result keeps the per-execution semantics of Classify.
+func (c *BatchClassifier) ClassifyBatch(imgs []*tensor.Tensor) ([]Result, error) {
+	results := make([]Result, len(imgs))
+	err := c.pool.RunExclusive(len(imgs), func(w *infer.Worker, i int) error {
+		w.Engine.Bucket().Reset()
+		before := w.Engine.Stats()
+		res, err := c.h.classify(w.Ctx, w.Engine, imgs[i])
+		if err != nil {
+			return err
+		}
+		// The engine accumulates across the worker's items; report the
+		// per-inference delta, matching Classify's fresh-engine counters.
+		res.Stats.Sub(before)
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -14,14 +14,22 @@
 package infer
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/nn"
 	"repro/internal/pool"
 	"repro/internal/reliable"
 	"repro/internal/tensor"
 )
+
+// ErrBusy is returned by Run (and everything built on it: Forward, Predict)
+// when another batch is already in flight on the same BatchEngine. Callers
+// that want to wait instead of fail should use RunExclusive.
+var ErrBusy = errors.New("infer: engine already running a batch")
 
 // Worker is the per-goroutine execution state handed to Run callbacks.
 type Worker struct {
@@ -48,11 +56,18 @@ type Config struct {
 // network (if any) is shared; every mutable artefact is per-worker. A
 // BatchEngine is safe for sequential reuse across many batches — contexts
 // and their scratch buffers persist, which is where the allocation win of
-// batching lives — but a single BatchEngine must not run two batches
-// concurrently.
+// batching lives — but a single BatchEngine cannot run two batches
+// concurrently: an in-flight guard makes an overlapping Run fail fast with
+// ErrBusy, and RunExclusive is the serialized entry point for callers that
+// issue batches from multiple goroutines.
 type BatchEngine struct {
 	net     *nn.Sequential
 	workers []*Worker
+
+	// inflight enforces the one-batch-at-a-time contract; mu serializes
+	// RunExclusive callers in front of it.
+	inflight atomic.Bool
+	mu       sync.Mutex
 }
 
 // New builds a pool over net (which may be nil for engines used only via
@@ -94,6 +109,10 @@ func (e *BatchEngine) Run(n int, fn func(w *Worker, i int) error) error {
 	if fn == nil {
 		return fmt.Errorf("infer: run needs a work function")
 	}
+	if !e.inflight.CompareAndSwap(false, true) {
+		return ErrBusy
+	}
+	defer e.inflight.Store(false)
 	err := pool.Run(n, len(e.workers), func(worker, i int) error {
 		return fn(e.workers[worker], i)
 	})
@@ -101,6 +120,16 @@ func (e *BatchEngine) Run(n int, fn func(w *Worker, i int) error) error {
 		return fmt.Errorf("infer: %w", err)
 	}
 	return nil
+}
+
+// RunExclusive is Run behind a lock: overlapping calls from different
+// goroutines queue up and execute one batch at a time instead of failing
+// with ErrBusy. This is the entry point for serving layers that flush
+// batches from concurrent paths onto one shared engine.
+func (e *BatchEngine) RunExclusive(n int, fn func(w *Worker, i int) error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.Run(n, fn)
 }
 
 // Stats sums the reliable-execution work counters across all workers —

@@ -3,6 +3,7 @@ package infer
 import (
 	"errors"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -152,6 +153,84 @@ func TestBatchEngineRun(t *testing.T) {
 	}
 	if _, err := e.Predict(nil); err == nil {
 		t.Error("predict without network should fail")
+	}
+}
+
+// TestBatchEngineConcurrentRunRejected: the documented one-batch-at-a-time
+// contract is now enforced — a Run that overlaps an in-flight batch fails
+// fast with ErrBusy instead of corrupting per-worker state. Under -race
+// this also proves the guard itself is sound.
+func TestBatchEngineConcurrentRunRejected(t *testing.T) {
+	e, err := New(nil, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inFirst := make(chan struct{})
+	release := make(chan struct{})
+	firstDone := make(chan error, 1)
+	var once sync.Once
+	go func() {
+		firstDone <- e.Run(4, func(w *Worker, i int) error {
+			once.Do(func() { close(inFirst) })
+			<-release
+			return nil
+		})
+	}()
+	<-inFirst
+	// Overlapping batch: cleanly rejected, not executed.
+	if err := e.Run(1, func(w *Worker, i int) error {
+		t.Error("overlapping batch must not execute")
+		return nil
+	}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("overlapping Run = %v, want ErrBusy", err)
+	}
+	close(release)
+	if err := <-firstDone; err != nil {
+		t.Fatal(err)
+	}
+	// The guard resets: the engine is usable again.
+	if err := e.Run(1, func(w *Worker, i int) error { return nil }); err != nil {
+		t.Fatalf("post-batch Run: %v", err)
+	}
+}
+
+// TestBatchEngineRunExclusive: concurrent RunExclusive callers serialize —
+// every batch executes, none observes ErrBusy, and no two batches overlap.
+func TestBatchEngineRunExclusive(t *testing.T) {
+	e, err := New(nil, Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers, items = 8, 20
+	var active, maxActive, total atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	errs := make(chan error, callers)
+	for c := 0; c < callers; c++ {
+		go func() {
+			defer wg.Done()
+			errs <- e.RunExclusive(items, func(w *Worker, i int) error {
+				if a := active.Add(1); a > maxActive.Load() {
+					maxActive.Store(a) // approximate high-water mark; exact check below is batch overlap via Run guard
+				}
+				total.Add(1)
+				active.Add(-1)
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("RunExclusive: %v", err)
+		}
+	}
+	if got := total.Load(); got != callers*items {
+		t.Fatalf("executed %d of %d items", got, callers*items)
+	}
+	if maxActive.Load() > int64(e.Workers()) {
+		t.Fatalf("observed %d concurrent items for %d workers — batches overlapped", maxActive.Load(), e.Workers())
 	}
 }
 

@@ -1,0 +1,302 @@
+// Package serve is the asynchronous serving front-end over the pooled
+// inference stack: many goroutines submit single images, a Scheduler
+// coalesces them into micro-batches and flushes each batch to a shared
+// backend (core.BatchClassifier in production, anything implementing
+// Backend in tests).
+//
+// The scheduling policy is the classic latency/occupancy trade: a batch is
+// flushed as soon as it reaches MaxBatch images OR the oldest queued image
+// has waited MaxDelay since submission (queue time behind an in-flight
+// batch counts), whichever comes first. MaxDelay == 0 degenerates to
+// "flush whatever is instantaneously queued" — minimal added latency, with
+// coalescing only under concurrent load. Overload is handled by admission
+// control, not buffering: the queue is bounded and a Submit against a full
+// queue fails immediately with ErrQueueFull, so callers can shed load or
+// retry with backoff. Per-request context deadlines are honoured both while
+// queued (an expired request is dropped before it costs backend work) and
+// while waiting for the batch to complete.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// Backend consumes the micro-batches the Scheduler forms. Implementations
+// must return one result per image, in input order. The Scheduler issues
+// calls from a single flusher goroutine, so implementations need not be
+// safe for concurrent use (core.BatchClassifier is anyway).
+type Backend interface {
+	ClassifyBatch(imgs []*tensor.Tensor) ([]core.Result, error)
+}
+
+var (
+	// ErrQueueFull is the admission-control rejection: the bounded queue is
+	// full and the request was not accepted. The caller owns the retry
+	// policy.
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrClosed is returned by Submit after Shutdown has begun.
+	ErrClosed = errors.New("serve: scheduler closed")
+)
+
+// Config parameterises a Scheduler.
+type Config struct {
+	// MaxBatch is the flush threshold (and the largest batch the backend
+	// will see). Default 8.
+	MaxBatch int
+	// MaxDelay bounds how long the oldest queued request waits for the
+	// batch to fill. 0 means flush immediately with whatever is queued.
+	MaxDelay time.Duration
+	// QueueSize bounds the number of accepted-but-unflushed requests;
+	// Submit fails with ErrQueueFull beyond it. Default 8 × MaxBatch.
+	QueueSize int
+	// LatencyWindow is the number of recent request latencies kept for the
+	// p50/p99 estimates. Default 1024.
+	LatencyWindow int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxBatch < 1 {
+		return c, fmt.Errorf("serve: MaxBatch %d must be >= 1", c.MaxBatch)
+	}
+	if c.MaxDelay < 0 {
+		return c, fmt.Errorf("serve: negative MaxDelay %v", c.MaxDelay)
+	}
+	if c.QueueSize == 0 {
+		c.QueueSize = 8 * c.MaxBatch
+	}
+	if c.QueueSize < 1 {
+		return c, fmt.Errorf("serve: QueueSize %d must be >= 1", c.QueueSize)
+	}
+	if c.LatencyWindow == 0 {
+		c.LatencyWindow = 1024
+	}
+	if c.LatencyWindow < 1 {
+		return c, fmt.Errorf("serve: LatencyWindow %d must be >= 1", c.LatencyWindow)
+	}
+	return c, nil
+}
+
+// request is one queued classification.
+type request struct {
+	img *tensor.Tensor
+	ctx context.Context
+	enq time.Time
+	// done is buffered so the flusher never blocks on a caller that gave up.
+	done chan response
+}
+
+type response struct {
+	res core.Result
+	err error
+}
+
+// Scheduler coalesces concurrent single-image submissions into
+// micro-batches. Build with New, serve with Submit from any number of
+// goroutines, stop with Shutdown.
+type Scheduler struct {
+	cfg     Config
+	backend Backend
+
+	// mu guards closed and makes Submit's enqueue atomic with respect to
+	// Shutdown's close(queue).
+	mu     sync.RWMutex
+	closed bool
+
+	queue   chan *request
+	drained chan struct{} // closed when the flusher has flushed everything
+
+	stats statsState
+}
+
+// New starts a Scheduler (and its flusher goroutine) over backend.
+func New(backend Backend, cfg Config) (*Scheduler, error) {
+	if backend == nil {
+		return nil, fmt.Errorf("serve: scheduler needs a backend")
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Scheduler{
+		cfg:     cfg,
+		backend: backend,
+		queue:   make(chan *request, cfg.QueueSize),
+		drained: make(chan struct{}),
+	}
+	s.stats.init(cfg.MaxBatch, cfg.LatencyWindow)
+	go s.run()
+	return s, nil
+}
+
+// Config returns the normalised configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// Submit queues one image and blocks until its batch completes, the context
+// is done, or admission control rejects it. Safe for any number of
+// concurrent callers. The context deadline covers the whole request
+// lifetime: a request that expires while still queued is dropped without
+// costing backend work.
+func (s *Scheduler) Submit(ctx context.Context, img *tensor.Tensor) (core.Result, error) {
+	if img == nil {
+		return core.Result{}, fmt.Errorf("serve: nil image")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r := &request{img: img, ctx: ctx, enq: time.Now(), done: make(chan response, 1)}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return core.Result{}, ErrClosed
+	}
+	select {
+	case s.queue <- r:
+		s.mu.RUnlock()
+		s.stats.submitted()
+	default:
+		s.mu.RUnlock()
+		s.stats.rejected()
+		return core.Result{}, ErrQueueFull
+	}
+	select {
+	case resp := <-r.done:
+		return resp.res, resp.err
+	case <-ctx.Done():
+		// The request stays queued; the flusher will see the dead context
+		// and drop it before it reaches the backend.
+		return core.Result{}, ctx.Err()
+	}
+}
+
+// Shutdown stops admission (Submit fails with ErrClosed), drains every
+// already-accepted request — including the in-flight batch — and returns
+// when the flusher has exited, or with ctx's error if the deadline passes
+// first. Idempotent.
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown: %w", ctx.Err())
+	}
+}
+
+// run is the flusher: it owns batch formation and is the only goroutine
+// that calls the backend, so batches are naturally serialized.
+func (s *Scheduler) run() {
+	defer close(s.drained)
+	for {
+		r, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch := append(make([]*request, 0, s.cfg.MaxBatch), r)
+		batch = s.collect(batch)
+		s.flush(batch)
+	}
+}
+
+// collect fills the batch up to MaxBatch, waiting until the batch's first
+// request has been queued for MaxDelay — time already spent waiting behind
+// an in-flight batch counts, so a request never pays queue-wait plus a full
+// extra MaxDelay. Once the queue is closed the remaining buffered requests
+// drain without waiting on the timer.
+func (s *Scheduler) collect(batch []*request) []*request {
+	if s.cfg.MaxBatch <= 1 {
+		return batch
+	}
+	remaining := s.cfg.MaxDelay - time.Since(batch[0].enq)
+	if s.cfg.MaxDelay <= 0 || remaining <= 0 {
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case r, ok := <-s.queue:
+				if !ok {
+					return batch
+				}
+				batch = append(batch, r)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(remaining)
+	defer timer.Stop()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case r, ok := <-s.queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// flush drops requests whose context already expired, runs the survivors
+// through the backend as one batch, and delivers per-request responses.
+func (s *Scheduler) flush(batch []*request) {
+	live := batch[:0]
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			r.done <- response{err: err}
+			s.stats.expired()
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	imgs := make([]*tensor.Tensor, len(live))
+	for i, r := range live {
+		imgs[i] = r.img
+	}
+	start := time.Now()
+	results, err := s.backend.ClassifyBatch(imgs)
+	if err == nil && len(results) != len(imgs) {
+		err = fmt.Errorf("serve: backend returned %d results for %d images", len(results), len(imgs))
+	}
+	now := time.Now()
+	if err != nil {
+		for _, r := range live {
+			r.done <- response{err: err}
+		}
+		s.stats.failed(len(live), now.Sub(start))
+		return
+	}
+	lats := make([]time.Duration, len(live))
+	for i, r := range live {
+		r.done <- response{res: results[i]}
+		lats[i] = now.Sub(r.enq)
+	}
+	s.stats.completed(len(live), lats, now.Sub(start))
+}
+
+// Stats snapshots the scheduler counters. QueueDepth is read live; the rest
+// is consistent at a single instant.
+func (s *Scheduler) Stats() Stats {
+	return s.stats.snapshot(len(s.queue), cap(s.queue))
+}

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stats is a point-in-time snapshot of a Scheduler's counters. Latency
+// quantiles are computed over a rolling window of recent requests
+// (Config.LatencyWindow); durations are nanoseconds in JSON.
+type Stats struct {
+	// Admission counters.
+	Submitted uint64 `json:"submitted"` // accepted into the queue
+	Rejected  uint64 `json:"rejected"`  // ErrQueueFull admissions
+	Expired   uint64 `json:"expired"`   // context expired while queued
+	Completed uint64 `json:"completed"` // classified successfully
+	Failed    uint64 `json:"failed"`    // failed with the batch's backend error
+
+	// Batching.
+	Batches   uint64   `json:"batches"`    // backend invocations
+	MeanBatch float64  `json:"mean_batch"` // Completed+Failed over Batches
+	BatchHist []uint64 `json:"batch_hist"` // BatchHist[i] = batches of size i+1
+
+	// Queue occupancy (live).
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+
+	// Rolling end-to-end latency (enqueue → response) over the window.
+	LatencyCount int           `json:"latency_count"`
+	LatencyP50   time.Duration `json:"latency_p50_ns"`
+	LatencyP99   time.Duration `json:"latency_p99_ns"`
+	LatencyMax   time.Duration `json:"latency_max_ns"`
+
+	// BackendBusy is cumulative wall time spent inside the backend; over
+	// uptime it gives backend utilisation.
+	BackendBusy time.Duration `json:"backend_busy_ns"`
+	Uptime      time.Duration `json:"uptime_ns"`
+}
+
+// statsState is the mutable, mutex-guarded side of Stats.
+type statsState struct {
+	mu         sync.Mutex
+	start      time.Time
+	nSubmitted uint64
+	nRejected  uint64
+	nExpired   uint64
+	nCompleted uint64
+	nFailed    uint64
+	nBatches   uint64
+	batchHist  []uint64
+	busy       time.Duration
+
+	// lat is a ring buffer of the most recent request latencies.
+	lat     []time.Duration
+	latNext int
+	latLen  int
+}
+
+func (st *statsState) init(maxBatch, window int) {
+	st.start = time.Now()
+	st.batchHist = make([]uint64, maxBatch)
+	st.lat = make([]time.Duration, window)
+}
+
+func (st *statsState) submitted() {
+	st.mu.Lock()
+	st.nSubmitted++
+	st.mu.Unlock()
+}
+
+func (st *statsState) rejected() {
+	st.mu.Lock()
+	st.nRejected++
+	st.mu.Unlock()
+}
+
+func (st *statsState) expired() {
+	st.mu.Lock()
+	st.nExpired++
+	st.mu.Unlock()
+}
+
+func (st *statsState) failed(n int, busy time.Duration) {
+	st.mu.Lock()
+	st.nFailed += uint64(n)
+	st.nBatches++
+	st.batchHist[n-1]++
+	st.busy += busy
+	st.mu.Unlock()
+}
+
+func (st *statsState) completed(n int, lats []time.Duration, busy time.Duration) {
+	st.mu.Lock()
+	st.nCompleted += uint64(n)
+	st.nBatches++
+	st.batchHist[n-1]++
+	st.busy += busy
+	for _, l := range lats {
+		st.lat[st.latNext] = l
+		st.latNext = (st.latNext + 1) % len(st.lat)
+		if st.latLen < len(st.lat) {
+			st.latLen++
+		}
+	}
+	st.mu.Unlock()
+}
+
+func (st *statsState) snapshot(depth, capacity int) Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := Stats{
+		Submitted:   st.nSubmitted,
+		Rejected:    st.nRejected,
+		Expired:     st.nExpired,
+		Completed:   st.nCompleted,
+		Failed:      st.nFailed,
+		Batches:     st.nBatches,
+		BatchHist:   append([]uint64(nil), st.batchHist...),
+		QueueDepth:  depth,
+		QueueCap:    capacity,
+		BackendBusy: st.busy,
+		Uptime:      time.Since(st.start),
+	}
+	if st.nBatches > 0 {
+		s.MeanBatch = float64(st.nCompleted+st.nFailed) / float64(st.nBatches)
+	}
+	if st.latLen > 0 {
+		window := append([]time.Duration(nil), st.lat[:st.latLen]...)
+		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+		s.LatencyCount = st.latLen
+		s.LatencyP50 = window[(st.latLen-1)/2]
+		s.LatencyP99 = window[(st.latLen-1)*99/100]
+		s.LatencyMax = window[st.latLen-1]
+	}
+	return s
+}
