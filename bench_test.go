@@ -8,10 +8,14 @@ package repro_test
 // Paper-scale only: go test -bench=Full -benchmem   (tens of seconds)
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -24,6 +28,7 @@ import (
 	"repro/internal/reliable"
 	"repro/internal/serve"
 	"repro/internal/shape"
+	"repro/internal/shard"
 	"repro/internal/tensor"
 )
 
@@ -312,6 +317,86 @@ func BenchmarkScheduler_Throughput(b *testing.B) {
 			})
 		}
 	}
+}
+
+// Stats merging — the per-/stats-request cost of aggregating a fleet's
+// counters on the shard router.
+
+func BenchmarkStatsMerge(b *testing.B) {
+	shards := make([]serve.Stats, 8)
+	for i := range shards {
+		n := uint64(1000 * (i + 1))
+		shards[i] = serve.Stats{
+			Submitted: n, Completed: n - 10, Failed: 5, Expired: 5,
+			Batches:      n / 4,
+			BatchHist:    []uint64{10, 20, 30, n/4 - 60},
+			LatencyCount: int(n - 10),
+			LatencyP50:   time.Duration(i+1) * time.Millisecond,
+			LatencyP99:   time.Duration(i+2) * 3 * time.Millisecond,
+			LatencyMax:   time.Duration(i+3) * 5 * time.Millisecond,
+			Uptime:       time.Minute,
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := serve.Merge(shards...)
+		if m.Submitted == 0 {
+			b.Fatal("empty merge")
+		}
+	}
+}
+
+// Router proxy overhead — end-to-end routed classification against
+// in-process fake workers, so the measurement is placement + proxy + stats
+// bookkeeping, not model inference.
+
+func BenchmarkRouterProxy(b *testing.B) {
+	worker := func() *httptest.Server {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/classify", func(w http.ResponseWriter, r *http.Request) {
+			io.Copy(io.Discard, r.Body)
+			w.Write([]byte(`{"class":14,"decision":"accept"}`))
+		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte(`{"status":"ok","queue_depth":0}`))
+		})
+		return httptest.NewServer(mux)
+	}
+	w1, w2 := worker(), worker()
+	defer w1.Close()
+	defer w2.Close()
+	router, err := shard.New([]string{w1.URL, w2.URL}, shard.Config{
+		Logf: func(string, ...any) {},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		router.Shutdown(ctx)
+	}()
+	front := httptest.NewServer(router.Mux())
+	defer front.Close()
+	body := []byte(`{"sign":"stop","seed":1}`)
+	client := &http.Client{Timeout: 10 * time.Second}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := client.Post(front.URL+"/classify", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+				return
+			}
+		}
+	})
 }
 
 // Substrate microbenchmarks.

@@ -1,0 +1,142 @@
+// Command hybridnet-router is the sharded serving plane: it spreads the
+// hybridnetd HTTP API across N worker processes, each running its own model
+// replica and micro-batching scheduler, and presents the same three
+// endpoints a single daemon exposes.
+//
+//	POST /classify  routed to a shard: power-of-two-choices on live queue
+//	                depth, round-robin on ties; one automatic failover on a
+//	                dead or load-shedding (503) shard
+//	GET  /healthz   router + fleet health (503 once no shard is routable)
+//	GET  /stats     per-shard serve.Stats plus the serve.Merge aggregate
+//
+// The router either spawns and supervises its own workers (each started
+// with -addr 127.0.0.1:0; the bound port is read from the worker's stdout
+// report line) or attaches to workers already running elsewhere:
+//
+//	Spawn:   hybridnet-router -shards 4 -worker-bin ./hybridnetd -worker-args '-demo'
+//	Attach:  hybridnet-router -attach http://10.0.0.1:8080,http://10.0.0.2:8080
+//
+// Shards are health-checked continuously; a shard that keeps failing is
+// circuit-broken out of placement and re-admitted on the first successful
+// probe. SIGINT/SIGTERM drains the fleet: spawned workers get SIGTERM and
+// drain their own schedulers before the router exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/shard"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hybridnet-router:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hybridnet-router", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8090", "router listen address")
+	attach := fs.String("attach", "", "comma-separated worker base URLs to attach to (no spawning)")
+	workerBin := fs.String("worker-bin", "", "hybridnetd binary to spawn workers from")
+	shards := fs.Int("shards", 2, "number of workers to spawn (spawn mode)")
+	workerArgs := fs.String("worker-args", "-demo", "space-separated extra args for each spawned worker")
+	healthInterval := fs.Duration("health-interval", 250*time.Millisecond, "shard health-probe period")
+	breaker := fs.Int("breaker", 3, "consecutive failures before a shard is circuit-broken")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-attempt proxy timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := shard.Config{
+		HealthInterval:   *healthInterval,
+		BreakerThreshold: *breaker,
+		RequestTimeout:   *timeout,
+	}
+	var router *shard.Router
+	var err error
+	switch {
+	case *attach != "" && *workerBin != "":
+		return fmt.Errorf("-attach and -worker-bin are mutually exclusive")
+	case *attach != "":
+		router, err = shard.New(splitList(*attach), cfg)
+	case *workerBin != "":
+		router, err = shard.Spawn(*workerBin, *shards, strings.Fields(*workerArgs), cfg)
+	default:
+		return fmt.Errorf("need -worker-bin (spawn workers) or -attach (use running workers)")
+	}
+	if err != nil {
+		return err
+	}
+	// Whatever exit path run() takes from here, the spawned workers must not
+	// be orphaned. Shutdown is idempotent, so the deliberate drain below and
+	// this safety net coexist.
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := router.Shutdown(ctx); err != nil {
+			log.Printf("hybridnet-router: shutdown: %v", err)
+		}
+	}()
+
+	readyCtx, readyCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err = router.WaitReady(readyCtx)
+	readyCancel()
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: router.Mux()}
+	log.Printf("hybridnet-router listening on %s (%d shards, probe %v, breaker %d)",
+		ln.Addr(), router.Shards(), *healthInterval, *breaker)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("hybridnet-router shutting down: draining %d shards", router.Shards())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	rep := router.Report(shutdownCtx)
+	if err := router.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	log.Printf("hybridnet-router drained: %d proxied (%d failovers), fleet completed %d in %d batches (mean %.2f)",
+		rep.Proxied, rep.Failovers, rep.Aggregate.Completed, rep.Aggregate.Batches, rep.Aggregate.MeanBatch)
+	return nil
+}
+
+// splitList splits a comma-separated flag value, tolerating whitespace and
+// empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no -attach/-worker-bin accepted")
+	}
+	if err := run([]string{"-attach", "http://127.0.0.1:1", "-worker-bin", "x"}); err == nil {
+		t.Error("-attach with -worker-bin accepted")
+	}
+	if err := run([]string{"-worker-bin", "/no/such/binary-xyz", "-shards", "1"}); err == nil {
+		t.Error("unspawnable worker binary accepted")
+	}
+	if err := run([]string{"-attach", " , ,"}); err == nil {
+		t.Error("attach list with no URLs accepted")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" http://a:1, http://b:2 ,,")
+	want := []string{"http://a:1", "http://b:2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("splitList = %v, want %v", got, want)
+	}
+	if out := splitList(""); out != nil {
+		t.Fatalf("empty list = %v", out)
+	}
+}

@@ -100,6 +100,13 @@ func run(args []string) error {
 	httpSrv := &http.Server{Handler: srv.mux()}
 	log.Printf("hybridnetd listening on %s (workers=%d max-batch=%d max-delay=%v queue=%d)",
 		ln.Addr(), bc.Workers(), *maxBatch, *maxDelay, *queueSize)
+	// Worker mode: report the bound address on stdout so a supervisor
+	// (hybridnet-router) that started us with -addr 127.0.0.1:0 can learn
+	// the kernel-assigned port. Logs go to stderr, so this is the only
+	// stdout traffic.
+	if err := cli.WriteAddrReport(os.Stdout, ln.Addr().String()); err != nil {
+		return fmt.Errorf("report bound address: %w", err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -169,6 +176,11 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// statusClientClosedRequest is the nginx-convention 499 for "client closed
+// the connection before the server answered". net/http has no constant for
+// it; using it keeps client disconnects distinct from 503 load shedding.
+const statusClientClosedRequest = 499
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -200,13 +212,18 @@ func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		status := http.StatusInternalServerError
 		switch {
 		case errors.Is(err, serve.ErrQueueFull), errors.Is(err, serve.ErrClosed):
+			// Real load shedding: 503 + Retry-After is reserved for these
+			// two, so the load-shedding rate in client stats means overload.
 			status = http.StatusServiceUnavailable
 			w.Header().Set("Retry-After", "1")
 		case errors.Is(err, context.DeadlineExceeded):
 			status = http.StatusGatewayTimeout
 		case errors.Is(err, context.Canceled):
-			// Client went away; the status is moot but 499-style close fits.
-			status = http.StatusServiceUnavailable
+			// The client went away before the verdict — not server overload.
+			// Nobody reads this response; the distinct status keeps client
+			// disconnects out of the 503 load-shedding accounting.
+			status = statusClientClosedRequest
+			log.Printf("hybridnetd: client gone before verdict: %v", err)
 		}
 		writeJSON(w, status, errorResponse{err.Error()})
 		return

@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gtsrb"
 	"repro/internal/serve"
+	"repro/internal/tensor"
 )
 
 // newTestServer wires a demo hybrid network behind the real scheduler and
@@ -195,6 +196,101 @@ func TestHealthzAndStats(t *testing.T) {
 	if stats.LatencyP50 <= 0 || stats.LatencyP99 < stats.LatencyP50 {
 		t.Fatalf("latency quantiles inconsistent: p50=%v p99=%v", stats.LatencyP50, stats.LatencyP99)
 	}
+}
+
+// gatedBackend holds every batch until the gate yields.
+type gatedBackend struct{ gate chan struct{} }
+
+func (b gatedBackend) ClassifyBatch(imgs []*tensor.Tensor) ([]core.Result, error) {
+	<-b.gate
+	return make([]core.Result, len(imgs)), nil
+}
+
+// TestClassifyStatusMapping pins the error-to-status contract: a client that
+// disconnects before the verdict gets the nginx-style 499 (no Retry-After),
+// while 503 + Retry-After stays reserved for real load shedding
+// (ErrQueueFull) so overload statistics are not polluted by client churn.
+func TestClassifyStatusMapping(t *testing.T) {
+	gate := make(chan struct{})
+	// QueueSize 2: the cancelled client's request keeps its queue slot until
+	// the flusher drains it, so the second slot is for the queued request
+	// and the third submission sheds.
+	sched, err := serve.New(gatedBackend{gate}, serve.Config{MaxBatch: 1, QueueSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(sched, time.Second, 32)
+
+	// Occupy the flusher inside the gated backend.
+	occupied := make(chan error, 1)
+	go func() {
+		_, err := sched.Submit(context.Background(), tensor.MustNew(3, 32, 32))
+		occupied <- err
+	}()
+	waitForCond(t, "flusher occupied", func() bool {
+		st := sched.Stats()
+		return st.Submitted == 1 && st.QueueDepth == 0
+	})
+
+	// Client gone: request context cancelled before the scheduler answers.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/classify",
+		strings.NewReader(`{"sign":"stop","seed":1}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	srv.handleClassify(rec, req)
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("client-gone status %d, want %d", rec.Code, statusClientClosedRequest)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "" {
+		t.Fatalf("client-gone response carries Retry-After %q — conflated with load shedding", ra)
+	}
+
+	// Queue full: one more queued request takes the second and last slot
+	// (the cancelled client's request still holds the first), so the next
+	// submission must shed with 503 + Retry-After.
+	queued := make(chan error, 1)
+	go func() {
+		_, err := sched.Submit(context.Background(), tensor.MustNew(3, 32, 32))
+		queued <- err
+	}()
+	waitForCond(t, "queue full", func() bool { return sched.Stats().QueueDepth == 2 })
+	req = httptest.NewRequest(http.MethodPost, "/classify",
+		strings.NewReader(`{"sign":"stop","seed":2}`))
+	rec = httptest.NewRecorder()
+	srv.handleClassify(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("shed status %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("load-shedding 503 lost its Retry-After")
+	}
+
+	close(gate)
+	if err := <-occupied; err != nil {
+		t.Fatalf("occupying request: %v", err)
+	}
+	if err := <-queued; err != nil {
+		t.Fatalf("queued request: %v", err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	if err := sched.Shutdown(ctx2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitForCond polls cond for up to 5s.
+func waitForCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
 }
 
 func TestRunFlagValidation(t *testing.T) {

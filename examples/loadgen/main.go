@@ -1,11 +1,20 @@
-// Command loadgen drives a running hybridnetd at a configured request rate
-// and reports tail latency — the measurement half of the serving subsystem.
-// It is an open-loop generator: requests fire on a fixed schedule whether
-// or not earlier ones have completed, so queueing delay shows up in the
-// latency distribution instead of silently throttling the offered load.
+// Command loadgen drives a running hybridnetd (or hybridnet-router) at a
+// configured request rate and reports tail latency — the measurement half
+// of the serving subsystem. It is an open-loop generator: requests fire on
+// a fixed schedule whether or not earlier ones have completed, so queueing
+// delay shows up in the latency distribution instead of silently
+// throttling the offered load.
 //
 //	go run ./cmd/hybridnetd -demo &
 //	go run ./examples/loadgen -addr http://127.0.0.1:8080 -rps 200 -duration 10s
+//
+// Against the sharded plane, -router additionally pulls the router's
+// /stats after the run and prints each shard's served count and latency
+// tail next to the serve.Merge aggregate, so per-shard imbalance (and the
+// cost of a mid-run failover) is visible instead of averaged away:
+//
+//	go run ./cmd/hybridnet-router -shards 2 -worker-bin ./hybridnetd &
+//	go run ./examples/loadgen -addr http://127.0.0.1:8090 -router -rps 200
 //
 // Rejections (HTTP 503, the daemon's admission control) are counted
 // separately from successes: under overload the right outcome is a fast
@@ -14,6 +23,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,17 +32,20 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/shard"
 )
 
 func main() {
-	addr := flag.String("addr", "http://127.0.0.1:8080", "hybridnetd base URL")
+	addr := flag.String("addr", "http://127.0.0.1:8080", "hybridnetd or hybridnet-router base URL")
 	rps := flag.Float64("rps", 100, "offered request rate per second")
 	duration := flag.Duration("duration", 5*time.Second, "how long to drive load")
 	sign := flag.String("sign", "stop", "sign class to request")
 	concurrency := flag.Int("concurrency", 256, "max in-flight requests before shedding")
 	timeout := flag.Duration("timeout", 10*time.Second, "client request timeout")
+	router := flag.Bool("router", false, "target is hybridnet-router: report per-shard vs aggregate stats after the run")
 	flag.Parse()
-	if err := run(*addr, *rps, *duration, *sign, *concurrency, *timeout); err != nil {
+	if err := run(*addr, *rps, *duration, *sign, *concurrency, *timeout, *router); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
@@ -46,7 +59,7 @@ type tally struct {
 	shed      int
 }
 
-func run(addr string, rps float64, duration time.Duration, sign string, concurrency int, timeout time.Duration) error {
+func run(addr string, rps float64, duration time.Duration, sign string, concurrency int, timeout time.Duration, router bool) error {
 	if rps <= 0 {
 		return fmt.Errorf("rps must be > 0")
 	}
@@ -132,5 +145,50 @@ func run(addr string, rps float64, duration time.Duration, sign string, concurre
 		len(t.latencies), q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
 		q(0.99).Round(time.Microsecond), t.latencies[len(t.latencies)-1].Round(time.Microsecond))
 	fmt.Printf("success throughput: %.1f rps\n", float64(len(t.latencies))/duration.Seconds())
+	if router {
+		return reportShards(client, addr)
+	}
+	return nil
+}
+
+// reportShards prints the router's view of the run: each shard's served
+// volume and latency tail beside the merged aggregate, so imbalance and
+// failover cost are visible per replica.
+func reportShards(client *http.Client, addr string) error {
+	resp, err := client.Get(addr + "/stats")
+	if err != nil {
+		return fmt.Errorf("router stats: %w", err)
+	}
+	defer resp.Body.Close()
+	var rep shard.StatsReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return fmt.Errorf("decode router stats: %w", err)
+	}
+	if len(rep.Shards) == 0 {
+		// A plain hybridnetd's serve.Stats decodes into StatsReport without
+		// error (unknown fields are ignored), so detect the mismatch
+		// structurally: a real router always lists its shards.
+		return fmt.Errorf("%s/stats has no shard list — is -addr really a hybridnet-router?", addr)
+	}
+	fmt.Printf("router: %d proxied, %d failovers, %d errors\n", rep.Proxied, rep.Failovers, rep.Errors)
+	for _, s := range rep.Shards {
+		state := "healthy"
+		if !s.Healthy {
+			state = "BROKEN"
+		}
+		if s.Stats == nil {
+			fmt.Printf("  shard %d %-22s %s  stats unavailable: %s\n", s.ID, s.URL, state, s.Error)
+			continue
+		}
+		fmt.Printf("  shard %d %-22s %s  completed %d (mean batch %.2f)  p50 %v  p99 %v  max %v\n",
+			s.ID, s.URL, state, s.Stats.Completed, s.Stats.MeanBatch,
+			s.Stats.LatencyP50.Round(time.Microsecond), s.Stats.LatencyP99.Round(time.Microsecond),
+			s.Stats.LatencyMax.Round(time.Microsecond))
+	}
+	agg := rep.Aggregate
+	fmt.Printf("  aggregate%-22s          completed %d (mean batch %.2f)  p50 %v  p99 %v  max %v\n",
+		"", agg.Completed, agg.MeanBatch,
+		agg.LatencyP50.Round(time.Microsecond), agg.LatencyP99.Round(time.Microsecond),
+		agg.LatencyMax.Round(time.Microsecond))
 	return nil
 }

@@ -1,0 +1,32 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// addrReportPrefix marks the one line a supervised hybridnetd worker writes
+// to stdout once its listener is bound. The router spawns workers with
+// `-addr 127.0.0.1:0` and learns the kernel-assigned port from this line;
+// everything else the daemon prints goes to stderr, so stdout stays a
+// single-purpose control channel. Shared here so the daemon and the router
+// cannot drift apart on the format.
+const addrReportPrefix = "HYBRIDNETD_ADDR="
+
+// WriteAddrReport emits the bound-address report line for addr (host:port).
+func WriteAddrReport(w io.Writer, addr string) error {
+	_, err := fmt.Fprintf(w, "%s%s\n", addrReportPrefix, addr)
+	return err
+}
+
+// ParseAddrReport extracts the bound address from one line of worker
+// stdout. The second return is false for any line that is not a report.
+func ParseAddrReport(line string) (string, bool) {
+	line = strings.TrimSpace(line)
+	rest, found := strings.CutPrefix(line, addrReportPrefix)
+	if !found || rest == "" {
+		return "", false
+	}
+	return rest, true
+}

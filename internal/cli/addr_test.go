@@ -1,0 +1,39 @@
+package cli
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAddrReportRoundTrip pins the daemon↔router control-channel format: a
+// written report parses back to the same address, and ordinary log or junk
+// lines never parse as one.
+func TestAddrReportRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAddrReport(&buf, "127.0.0.1:43521"); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	if !strings.HasSuffix(line, "\n") {
+		t.Fatalf("report %q not newline-terminated", line)
+	}
+	addr, ok := ParseAddrReport(line)
+	if !ok || addr != "127.0.0.1:43521" {
+		t.Fatalf("round trip gave (%q, %v)", addr, ok)
+	}
+	for _, junk := range []string{
+		"",
+		"hybridnetd listening on 127.0.0.1:8080",
+		"HYBRIDNETD_ADDR=",
+		"XHYBRIDNETD_ADDR=1.2.3.4:5",
+	} {
+		if got, ok := ParseAddrReport(junk); ok {
+			t.Errorf("junk line %q parsed as %q", junk, got)
+		}
+	}
+	// Surrounding whitespace from line scanning is tolerated.
+	if addr, ok := ParseAddrReport("  HYBRIDNETD_ADDR=[::1]:9\r\n"); !ok || addr != "[::1]:9" {
+		t.Errorf("whitespace-wrapped report gave (%q, %v)", addr, ok)
+	}
+}

@@ -1,0 +1,75 @@
+package serve
+
+import "time"
+
+// Merge folds per-shard Stats snapshots into one fleet-level view, the
+// aggregation the shard router serves on its own GET /stats. The rules:
+//
+//   - Counters (Submitted, Rejected, Expired, ExpiredDispatched, Completed,
+//     Failed, Batches), queue occupancy, and BackendBusy are sums, so the
+//     merged totals equal the sum of the per-shard counters.
+//   - BatchHist is the element-wise sum via MergeBatchHist (shards may run
+//     different MaxBatch; the merged histogram takes the longest length).
+//   - MeanBatch is recomputed from the merged totals (dispatched images over
+//     batches), not averaged — averaging per-shard means would weight an
+//     idle shard equally with a busy one.
+//   - LatencyMax is the max; LatencyCount is the sum. LatencyP50/P99 are
+//     LatencyCount-weighted means of the per-shard quantiles — an
+//     approximation (exact fleet quantiles need the raw windows), biased
+//     toward the busy shards, which is the fleet question being asked.
+//   - Uptime is the max: the fleet has been up as long as its oldest shard.
+//
+// Shards with no latency samples contribute nothing to the quantile merge.
+func Merge(shards ...Stats) Stats {
+	var m Stats
+	var p50w, p99w float64
+	for _, s := range shards {
+		m.Submitted += s.Submitted
+		m.Rejected += s.Rejected
+		m.Expired += s.Expired
+		m.ExpiredDispatched += s.ExpiredDispatched
+		m.Completed += s.Completed
+		m.Failed += s.Failed
+		m.Batches += s.Batches
+		m.BatchHist = MergeBatchHist(m.BatchHist, s.BatchHist)
+		m.QueueDepth += s.QueueDepth
+		m.QueueCap += s.QueueCap
+		m.BackendBusy += s.BackendBusy
+		if s.Uptime > m.Uptime {
+			m.Uptime = s.Uptime
+		}
+		if s.LatencyMax > m.LatencyMax {
+			m.LatencyMax = s.LatencyMax
+		}
+		m.LatencyCount += s.LatencyCount
+		p50w += float64(s.LatencyP50) * float64(s.LatencyCount)
+		p99w += float64(s.LatencyP99) * float64(s.LatencyCount)
+	}
+	if m.Batches > 0 {
+		m.MeanBatch = float64(m.Dispatched()) / float64(m.Batches)
+	}
+	if m.LatencyCount > 0 {
+		m.LatencyP50 = time.Duration(p50w / float64(m.LatencyCount))
+		m.LatencyP99 = time.Duration(p99w / float64(m.LatencyCount))
+	}
+	return m
+}
+
+// MergeBatchHist element-wise sums two batch-size histograms, extending to
+// the longer of the two (shards may be configured with different MaxBatch).
+// A fresh slice is returned; neither argument is modified.
+func MergeBatchHist(a, b []uint64) []uint64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]uint64, n)
+	copy(out, a)
+	for i, v := range b {
+		out[i] += v
+	}
+	return out
+}

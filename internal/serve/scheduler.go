@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -86,13 +87,47 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
+// Request lifecycle states. Every request resolves to exactly one terminal
+// state — stateDelivered (the flusher committed a response to done) or
+// stateExpired (the submitter claimed its context error) — via CAS, so a
+// request is counted in the stats exactly once no matter how the
+// delivery/expiry race falls.
+const (
+	statePending    int32 = iota // queued, not yet picked into a batch
+	stateDispatched              // in a batch handed to the backend
+	stateDelivered               // terminal: response committed by the flusher
+	stateExpired                 // terminal: context error claimed by the submitter (or flusher pre-dispatch)
+)
+
 // request is one queued classification.
 type request struct {
 	img *tensor.Tensor
 	ctx context.Context
 	enq time.Time
+	// state is the single-outcome arbiter between the flusher delivering a
+	// response and the submitter abandoning on context expiry.
+	state atomic.Int32
 	// done is buffered so the flusher never blocks on a caller that gave up.
 	done chan response
+}
+
+// abandon is the submitter's side of the delivery/expiry race: it tries to
+// claim the request's single outcome as "expired". It reports whether the
+// claim won; on a lost race the response is committed (or imminently so) on
+// r.done. The winner does the stats accounting: expired() if the request was
+// still queued, expiredDispatched() if its batch had already been handed to
+// the backend (the backend work is wasted, but the result is not delivered
+// and not counted completed).
+func (r *request) abandon(st *statsState) bool {
+	if r.state.CompareAndSwap(statePending, stateExpired) {
+		st.expired()
+		return true
+	}
+	if r.state.CompareAndSwap(stateDispatched, stateExpired) {
+		st.expiredDispatched()
+		return true
+	}
+	return false
 }
 
 type response struct {
@@ -172,9 +207,17 @@ func (s *Scheduler) Submit(ctx context.Context, img *tensor.Tensor) (core.Result
 	case resp := <-r.done:
 		return resp.res, resp.err
 	case <-ctx.Done():
-		// The request stays queued; the flusher will see the dead context
-		// and drop it before it reaches the backend.
-		return core.Result{}, ctx.Err()
+		if r.abandon(&s.stats) {
+			// Claimed: the flusher will skip this request (still queued) or
+			// discard its result (already dispatched); either way it is
+			// counted exactly once, as expired.
+			return core.Result{}, ctx.Err()
+		}
+		// Lost the race: the flusher committed a response concurrently with
+		// the context firing. Honour the committed outcome — it is the one
+		// the stats counted.
+		resp := <-r.done
+		return resp.res, resp.err
 	}
 }
 
@@ -257,12 +300,23 @@ func (s *Scheduler) collect(batch []*request) []*request {
 
 // flush drops requests whose context already expired, runs the survivors
 // through the backend as one batch, and delivers per-request responses.
+// Every transition out of statePending/stateDispatched is a CAS against the
+// submitter's abandon, so each request lands in exactly one stats bucket.
 func (s *Scheduler) flush(batch []*request) {
 	live := batch[:0]
 	for _, r := range batch {
-		if err := r.ctx.Err(); err != nil {
-			r.done <- response{err: err}
-			s.stats.expired()
+		if r.ctx.Err() != nil {
+			if r.state.CompareAndSwap(statePending, stateExpired) {
+				r.done <- response{err: r.ctx.Err()}
+				s.stats.expired()
+			}
+			// On a lost CAS the submitter already claimed (and counted) the
+			// expiry; nothing to deliver.
+			continue
+		}
+		if !r.state.CompareAndSwap(statePending, stateDispatched) {
+			// The context fired between the check above and the CAS and the
+			// submitter claimed the request.
 			continue
 		}
 		live = append(live, r)
@@ -280,19 +334,31 @@ func (s *Scheduler) flush(batch []*request) {
 		err = fmt.Errorf("serve: backend returned %d results for %d images", len(results), len(imgs))
 	}
 	now := time.Now()
+	// The batch-level accounting (invocation count, size histogram, busy
+	// time) reflects what the backend actually saw, independent of how the
+	// per-request outcomes resolve.
+	s.stats.batchDone(len(live), now.Sub(start))
 	if err != nil {
+		nFailed := 0
 		for _, r := range live {
-			r.done <- response{err: err}
+			if r.state.CompareAndSwap(stateDispatched, stateDelivered) {
+				r.done <- response{err: err}
+				nFailed++
+			}
 		}
-		s.stats.failed(len(live), now.Sub(start))
+		s.stats.failed(nFailed)
 		return
 	}
-	lats := make([]time.Duration, len(live))
+	lats := make([]time.Duration, 0, len(live))
 	for i, r := range live {
-		r.done <- response{res: results[i]}
-		lats[i] = now.Sub(r.enq)
+		if r.state.CompareAndSwap(stateDispatched, stateDelivered) {
+			r.done <- response{res: results[i]}
+			lats = append(lats, now.Sub(r.enq))
+		}
+		// A lost CAS means the submitter expired the request mid-batch: the
+		// result is discarded and its latency stays out of the window.
 	}
-	s.stats.completed(len(live), lats, now.Sub(start))
+	s.stats.completed(lats)
 }
 
 // Stats snapshots the scheduler counters. QueueDepth is read live; the rest

@@ -467,6 +467,135 @@ func TestSchedulerValidation(t *testing.T) {
 	}
 }
 
+// TestSchedulerExpiryInFlightSingleOutcome is the double-accounting
+// regression: a request whose context expires while its batch is inside the
+// backend must resolve to exactly one outcome. The caller gets ctx.Err(),
+// the buffered result is discarded, and the stats count it as
+// ExpiredDispatched — never Completed, and its latency never enters the
+// rolling window.
+func TestSchedulerExpiryInFlightSingleOutcome(t *testing.T) {
+	backend := &blockingBackend{
+		entered: make(chan int, 4),
+		release: make(chan struct{}),
+	}
+	s, err := New(backend, Config{MaxBatch: 1, QueueSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	submitErr := make(chan error, 1)
+	go func() {
+		_, err := s.Submit(ctx, tensor.MustNew(1, 1, 1))
+		submitErr <- err
+	}()
+	<-backend.entered // the request's batch is now inside the backend
+	cancel()
+	if err := <-submitErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("in-flight expiry returned %v, want context.Canceled", err)
+	}
+	close(backend.release) // backend finishes; the flusher must discard the result
+
+	// The scheduler keeps serving: a healthy follow-up completes normally.
+	res, err := s.Submit(context.Background(), tensor.MustNew(1, 1, 1))
+	<-backend.entered
+	if err != nil || res.Class != 0 {
+		t.Fatalf("follow-up submit = (%d, %v)", res.Class, err)
+	}
+	shutdownOK(t, s)
+
+	st := s.Stats()
+	if st.Submitted != 2 || st.ExpiredDispatched != 1 || st.Completed != 1 ||
+		st.Expired != 0 || st.Failed != 0 {
+		t.Fatalf("counters submitted=%d expired=%d expired_dispatched=%d completed=%d failed=%d, want 2/0/1/1/0",
+			st.Submitted, st.Expired, st.ExpiredDispatched, st.Completed, st.Failed)
+	}
+	if st.LatencyCount != 1 {
+		t.Fatalf("latency window holds %d samples; the expired request's latency leaked in", st.LatencyCount)
+	}
+	if st.Batches != 2 {
+		t.Fatalf("batches %d, want 2 (the expired request's batch still ran)", st.Batches)
+	}
+}
+
+// TestSchedulerAccountingUnderChurn hammers the delivery/expiry race from
+// many goroutines (run under -race) and pins the global invariant: every
+// submitted request lands in exactly one outcome bucket, the client-observed
+// outcomes match the counters exactly, and the latency window only ever
+// holds completed requests.
+func TestSchedulerAccountingUnderChurn(t *testing.T) {
+	backend := &slowBackend{delay: 500 * time.Microsecond}
+	s, err := New(backend, Config{MaxBatch: 4, MaxDelay: 100 * time.Microsecond, QueueSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 400
+	var ok, ctxErr atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			// Deadlines straddle the backend delay so expiry lands before,
+			// during, and after dispatch.
+			timeout := time.Duration(i%5) * 300 * time.Microsecond
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			defer cancel()
+			_, err := s.Submit(ctx, tensor.MustNew(1, 1, 1))
+			switch {
+			case err == nil:
+				ok.Add(1)
+			case errors.Is(err, context.DeadlineExceeded):
+				ctxErr.Add(1)
+			default:
+				t.Errorf("unexpected submit error: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	shutdownOK(t, s)
+
+	st := s.Stats()
+	if st.Submitted != n {
+		t.Fatalf("submitted %d of %d", st.Submitted, n)
+	}
+	total := st.Completed + st.Failed + st.Expired + st.ExpiredDispatched
+	if total != n {
+		t.Fatalf("outcome buckets sum to %d, want %d: %+v", total, n, st)
+	}
+	if got := uint64(ok.Load()); got != st.Completed {
+		t.Fatalf("clients saw %d results but Completed=%d — a request was double-accounted", got, st.Completed)
+	}
+	if got := uint64(ctxErr.Load()); got != st.Expired+st.ExpiredDispatched {
+		t.Fatalf("clients saw %d ctx errors but expired=%d+%d", got, st.Expired, st.ExpiredDispatched)
+	}
+	if uint64(st.LatencyCount) > st.Completed {
+		t.Fatalf("latency window %d > completed %d", st.LatencyCount, st.Completed)
+	}
+	t.Logf("churn: %d completed, %d expired queued, %d expired in flight (%d batches)",
+		st.Completed, st.Expired, st.ExpiredDispatched, st.Batches)
+}
+
+// blockingBackend signals batch entry and holds every call until released.
+type blockingBackend struct {
+	entered chan int
+	release chan struct{}
+}
+
+func (b *blockingBackend) ClassifyBatch(imgs []*tensor.Tensor) ([]core.Result, error) {
+	b.entered <- len(imgs)
+	<-b.release
+	return make([]core.Result, len(imgs)), nil
+}
+
+// slowBackend spends a fixed delay per batch so in-flight expiry is common.
+type slowBackend struct{ delay time.Duration }
+
+func (b *slowBackend) ClassifyBatch(imgs []*tensor.Tensor) ([]core.Result, error) {
+	time.Sleep(b.delay)
+	return make([]core.Result, len(imgs)), nil
+}
+
 // holdingBackend delegates after a one-time hold, counting invocations.
 type holdingBackend struct {
 	inner Backend

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -8,18 +9,28 @@ import (
 
 // Stats is a point-in-time snapshot of a Scheduler's counters. Latency
 // quantiles are computed over a rolling window of recent requests
-// (Config.LatencyWindow); durations are nanoseconds in JSON.
+// (Config.LatencyWindow) using nearest-rank selection; durations are
+// nanoseconds in JSON.
+//
+// Every submitted request resolves to exactly one of Expired,
+// ExpiredDispatched, Completed or Failed, so once the queue is drained
+// Submitted equals their sum.
 type Stats struct {
 	// Admission counters.
 	Submitted uint64 `json:"submitted"` // accepted into the queue
 	Rejected  uint64 `json:"rejected"`  // ErrQueueFull admissions
 	Expired   uint64 `json:"expired"`   // context expired while queued
-	Completed uint64 `json:"completed"` // classified successfully
-	Failed    uint64 `json:"failed"`    // failed with the batch's backend error
+	// ExpiredDispatched counts requests whose context expired after their
+	// batch was handed to the backend: the backend work is wasted, the
+	// result is discarded, and the request is NOT counted Completed.
+	ExpiredDispatched uint64 `json:"expired_dispatched"`
+	Completed         uint64 `json:"completed"` // classified successfully
+	Failed            uint64 `json:"failed"`    // failed with the batch's backend error
 
-	// Batching.
+	// Batching. The histogram and mean reflect what the backend saw
+	// (dispatched sizes), including riders that later expired mid-flight.
 	Batches   uint64   `json:"batches"`    // backend invocations
-	MeanBatch float64  `json:"mean_batch"` // Completed+Failed over Batches
+	MeanBatch float64  `json:"mean_batch"` // dispatched images over Batches
 	BatchHist []uint64 `json:"batch_hist"` // BatchHist[i] = batches of size i+1
 
 	// Queue occupancy (live).
@@ -38,18 +49,46 @@ type Stats struct {
 	Uptime      time.Duration `json:"uptime_ns"`
 }
 
+// Dispatched is the number of images the backend has been asked to classify:
+// every terminal outcome downstream of a backend invocation.
+func (s Stats) Dispatched() uint64 {
+	return s.Completed + s.Failed + s.ExpiredDispatched
+}
+
+// NearestRank is the quantile rule used for the latency estimates: the
+// nearest-rank (ceil) selection q = sorted[ceil(p·n)-1] over a sorted,
+// ascending window. Unlike floor indexing it never collapses a high
+// quantile onto the median for small windows — for n < 100, P99 is the
+// window maximum. p outside (0,1] is clamped.
+func NearestRank(sorted []time.Duration, p float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
 // statsState is the mutable, mutex-guarded side of Stats.
 type statsState struct {
-	mu         sync.Mutex
-	start      time.Time
-	nSubmitted uint64
-	nRejected  uint64
-	nExpired   uint64
-	nCompleted uint64
-	nFailed    uint64
-	nBatches   uint64
-	batchHist  []uint64
-	busy       time.Duration
+	mu          sync.Mutex
+	start       time.Time
+	nSubmitted  uint64
+	nRejected   uint64
+	nExpired    uint64
+	nExpiredDis uint64
+	nCompleted  uint64
+	nFailed     uint64
+	nBatches    uint64
+	nDispatched uint64
+	batchHist   []uint64
+	busy        time.Duration
 
 	// lat is a ring buffer of the most recent request latencies.
 	lat     []time.Duration
@@ -81,21 +120,31 @@ func (st *statsState) expired() {
 	st.mu.Unlock()
 }
 
-func (st *statsState) failed(n int, busy time.Duration) {
+func (st *statsState) expiredDispatched() {
 	st.mu.Lock()
-	st.nFailed += uint64(n)
+	st.nExpiredDis++
+	st.mu.Unlock()
+}
+
+// batchDone records one backend invocation of n images taking busy wall time.
+func (st *statsState) batchDone(n int, busy time.Duration) {
+	st.mu.Lock()
 	st.nBatches++
+	st.nDispatched += uint64(n)
 	st.batchHist[n-1]++
 	st.busy += busy
 	st.mu.Unlock()
 }
 
-func (st *statsState) completed(n int, lats []time.Duration, busy time.Duration) {
+func (st *statsState) failed(n int) {
 	st.mu.Lock()
-	st.nCompleted += uint64(n)
-	st.nBatches++
-	st.batchHist[n-1]++
-	st.busy += busy
+	st.nFailed += uint64(n)
+	st.mu.Unlock()
+}
+
+func (st *statsState) completed(lats []time.Duration) {
+	st.mu.Lock()
+	st.nCompleted += uint64(len(lats))
 	for _, l := range lats {
 		st.lat[st.latNext] = l
 		st.latNext = (st.latNext + 1) % len(st.lat)
@@ -110,27 +159,28 @@ func (st *statsState) snapshot(depth, capacity int) Stats {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	s := Stats{
-		Submitted:   st.nSubmitted,
-		Rejected:    st.nRejected,
-		Expired:     st.nExpired,
-		Completed:   st.nCompleted,
-		Failed:      st.nFailed,
-		Batches:     st.nBatches,
-		BatchHist:   append([]uint64(nil), st.batchHist...),
-		QueueDepth:  depth,
-		QueueCap:    capacity,
-		BackendBusy: st.busy,
-		Uptime:      time.Since(st.start),
+		Submitted:         st.nSubmitted,
+		Rejected:          st.nRejected,
+		Expired:           st.nExpired,
+		ExpiredDispatched: st.nExpiredDis,
+		Completed:         st.nCompleted,
+		Failed:            st.nFailed,
+		Batches:           st.nBatches,
+		BatchHist:         append([]uint64(nil), st.batchHist...),
+		QueueDepth:        depth,
+		QueueCap:          capacity,
+		BackendBusy:       st.busy,
+		Uptime:            time.Since(st.start),
 	}
 	if st.nBatches > 0 {
-		s.MeanBatch = float64(st.nCompleted+st.nFailed) / float64(st.nBatches)
+		s.MeanBatch = float64(st.nDispatched) / float64(st.nBatches)
 	}
 	if st.latLen > 0 {
 		window := append([]time.Duration(nil), st.lat[:st.latLen]...)
 		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
 		s.LatencyCount = st.latLen
-		s.LatencyP50 = window[(st.latLen-1)/2]
-		s.LatencyP99 = window[(st.latLen-1)*99/100]
+		s.LatencyP50 = NearestRank(window, 0.50)
+		s.LatencyP99 = NearestRank(window, 0.99)
 		s.LatencyMax = window[st.latLen-1]
 	}
 	return s

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNearestRankSmallWindows pins the quantile rule on exactly the windows
+// the old floor indexing got wrong: under ~50 samples, (n-1)*99/100 floors
+// to (n-1)/2-ish indices and P99 collapsed onto P50. Nearest-rank keeps P99
+// at the window maximum for any n < 100.
+func TestNearestRankSmallWindows(t *testing.T) {
+	mk := func(n int) []time.Duration {
+		w := make([]time.Duration, n)
+		for i := range w {
+			w[i] = time.Duration(i+1) * time.Millisecond
+		}
+		return w
+	}
+	cases := []struct {
+		n        int
+		p        float64
+		wantIdx  int
+		scenario string
+	}{
+		{1, 0.50, 0, "singleton p50"},
+		{1, 0.99, 0, "singleton p99"},
+		{2, 0.50, 0, "n=2 p50 is the lower sample"},
+		{2, 0.99, 1, "n=2 p99 is the max"},
+		{10, 0.50, 4, "n=10 p50"},
+		{10, 0.99, 9, "n=10 p99 is the max (floor gave index 8)"},
+		{49, 0.99, 48, "n=49 p99 is the max (floor collapsed to p50 territory)"},
+		{100, 0.99, 98, "n=100 p99 leaves the max out"},
+		{101, 0.50, 50, "n=101 median"},
+	}
+	for _, c := range cases {
+		w := mk(c.n)
+		if got := NearestRank(w, c.p); got != w[c.wantIdx] {
+			t.Errorf("%s: NearestRank(n=%d, p=%v) = %v, want %v", c.scenario, c.n, c.p, got, w[c.wantIdx])
+		}
+	}
+	if got := NearestRank(nil, 0.99); got != 0 {
+		t.Errorf("empty window: %v, want 0", got)
+	}
+	w := mk(5)
+	if got := NearestRank(w, -1); got != w[0] {
+		t.Errorf("p<=0 clamps to min: %v", got)
+	}
+	if got := NearestRank(w, 2); got != w[4] {
+		t.Errorf("p>1 clamps to max: %v", got)
+	}
+}
+
+// TestSnapshotQuantiles drives the ring buffer directly: with 10 samples the
+// snapshot's P99 must be the window max, not the median neighbourhood.
+func TestSnapshotQuantiles(t *testing.T) {
+	var st statsState
+	st.init(10, 64)
+	lats := make([]time.Duration, 10)
+	for i := range lats {
+		lats[i] = time.Duration(i+1) * time.Millisecond
+	}
+	st.batchDone(len(lats), time.Millisecond)
+	st.completed(lats)
+	s := st.snapshot(0, 0)
+	if s.LatencyCount != 10 {
+		t.Fatalf("latency count %d", s.LatencyCount)
+	}
+	if s.LatencyP50 != 5*time.Millisecond {
+		t.Errorf("p50 = %v, want 5ms", s.LatencyP50)
+	}
+	if s.LatencyP99 != 10*time.Millisecond {
+		t.Errorf("p99 = %v, want the 10ms window max", s.LatencyP99)
+	}
+	if s.LatencyMax != 10*time.Millisecond {
+		t.Errorf("max = %v", s.LatencyMax)
+	}
+}
+
+// TestMergeStats pins the fleet-aggregation rules: counters sum, the batch
+// histogram is an element-wise sum over the longest length, MeanBatch is
+// recomputed from merged totals, quantiles are count-weighted, Uptime and
+// LatencyMax take the max.
+func TestMergeStats(t *testing.T) {
+	a := Stats{
+		Submitted: 100, Rejected: 5, Expired: 2, ExpiredDispatched: 1,
+		Completed: 90, Failed: 7,
+		Batches: 20, BatchHist: []uint64{2, 3, 15},
+		QueueDepth: 1, QueueCap: 64,
+		LatencyCount: 90, LatencyP50: 10 * time.Millisecond,
+		LatencyP99: 30 * time.Millisecond, LatencyMax: 40 * time.Millisecond,
+		BackendBusy: time.Second, Uptime: 10 * time.Second,
+	}
+	b := Stats{
+		Submitted: 50, Completed: 45, Expired: 5,
+		Batches: 15, BatchHist: []uint64{5, 10},
+		QueueDepth: 2, QueueCap: 32,
+		LatencyCount: 45, LatencyP50: 20 * time.Millisecond,
+		LatencyP99: 60 * time.Millisecond, LatencyMax: 35 * time.Millisecond,
+		BackendBusy: 2 * time.Second, Uptime: 8 * time.Second,
+	}
+	m := Merge(a, b)
+	if m.Submitted != 150 || m.Rejected != 5 || m.Expired != 7 ||
+		m.ExpiredDispatched != 1 || m.Completed != 135 || m.Failed != 7 {
+		t.Fatalf("counter sums wrong: %+v", m)
+	}
+	if m.Batches != 35 {
+		t.Fatalf("batches %d", m.Batches)
+	}
+	wantHist := []uint64{7, 13, 15}
+	if len(m.BatchHist) != len(wantHist) {
+		t.Fatalf("hist %v, want %v", m.BatchHist, wantHist)
+	}
+	for i := range wantHist {
+		if m.BatchHist[i] != wantHist[i] {
+			t.Fatalf("hist %v, want %v", m.BatchHist, wantHist)
+		}
+	}
+	wantMean := float64(m.Dispatched()) / float64(m.Batches)
+	if m.MeanBatch != wantMean {
+		t.Errorf("mean batch %v, want %v recomputed from totals", m.MeanBatch, wantMean)
+	}
+	if m.QueueDepth != 3 || m.QueueCap != 96 {
+		t.Errorf("queue %d/%d", m.QueueDepth, m.QueueCap)
+	}
+	if m.LatencyCount != 135 {
+		t.Errorf("latency count %d", m.LatencyCount)
+	}
+	// Weighted p50: (10ms*90 + 20ms*45) / 135
+	p50Num := float64(10*time.Millisecond)*90 + float64(20*time.Millisecond)*45
+	wantP50 := time.Duration(p50Num / 135)
+	if m.LatencyP50 != wantP50 {
+		t.Errorf("p50 %v, want count-weighted %v", m.LatencyP50, wantP50)
+	}
+	if m.LatencyMax != 40*time.Millisecond {
+		t.Errorf("max %v", m.LatencyMax)
+	}
+	if m.Uptime != 10*time.Second {
+		t.Errorf("uptime %v, want the oldest shard's", m.Uptime)
+	}
+	if m.BackendBusy != 3*time.Second {
+		t.Errorf("busy %v", m.BackendBusy)
+	}
+
+	if z := Merge(); z.Submitted != 0 || z.BatchHist != nil {
+		t.Errorf("empty merge not zero: %+v", z)
+	}
+	if h := MergeBatchHist(nil, nil); h != nil {
+		t.Errorf("nil hist merge: %v", h)
+	}
+	if h := MergeBatchHist([]uint64{1}, []uint64{0, 2}); len(h) != 2 || h[0] != 1 || h[1] != 2 {
+		t.Errorf("uneven hist merge: %v", h)
+	}
+}

@@ -1,0 +1,596 @@
+// Package shard is the multi-process serving plane: a Router spreads
+// POST /classify traffic across N hybridnetd worker shards, each running
+// its own model replica and serve.Scheduler, behind the same HTTP API a
+// single daemon exposes.
+//
+// Placement is power-of-two-choices on live shard load (router-tracked
+// in-flight requests plus the queue depth each shard last reported on
+// /healthz), falling back to round-robin when the loads tie or only one
+// shard is routable. Every shard is health-checked on an interval; a shard
+// that fails BreakerThreshold consecutive probes or proxied requests is
+// circuit-broken — taken out of placement — and re-admitted as soon as a
+// probe succeeds again. A request that hits a dead or overloaded shard
+// (connection error or 503) fails over to one other shard before the error
+// reaches the client, so losing one worker of N is invisible to clients.
+//
+// GET /stats serves the fleet view: every reachable shard's serve.Stats
+// merged with serve.Merge plus per-shard detail, so the aggregate counters
+// equal the sum of the per-shard counters.
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Config parameterises a Router.
+type Config struct {
+	// HealthInterval is the /healthz probe period. Default 250ms.
+	HealthInterval time.Duration
+	// BreakerThreshold is the number of consecutive failures (probes or
+	// proxied requests) that opens a shard's circuit breaker. Default 3.
+	BreakerThreshold int
+	// RequestTimeout bounds one proxied request (per attempt). Default 30s —
+	// comfortably above a worker's own per-request deadline, so the worker's
+	// 504 wins over the router's.
+	RequestTimeout time.Duration
+	// Client overrides the HTTP client used for proxying and probing.
+	Client *http.Client
+	// Logf sinks router events (breaker transitions, failovers, worker
+	// exits). Default log.Printf; set to a no-op in tests.
+	Logf func(format string, args ...any)
+	// Seed feeds the power-of-two-choices randomness. Default 1.
+	Seed int64
+}
+
+// statusClientClosedRequest is the nginx-convention 499 for "client closed
+// the connection before the server answered" — same convention hybridnetd
+// uses, so client churn stays out of 502/503 accounting at both tiers.
+const statusClientClosedRequest = 499
+
+func (c Config) withDefaults() Config {
+	if c.HealthInterval == 0 {
+		c.HealthInterval = 250 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// shardState is one worker replica as the router sees it.
+type shardState struct {
+	id  int
+	url string // base URL, no trailing slash
+
+	proc *workerProc // non-nil only for spawned workers
+
+	inflight atomic.Int64 // router-side requests currently proxied to this shard
+	depth    atomic.Int64 // queue depth last reported by /healthz
+
+	mu          sync.Mutex
+	open        bool // circuit open: excluded from placement
+	consecFails int
+	opens       uint64 // breaker open transitions
+	closes      uint64 // breaker close (re-admission) transitions
+}
+
+// load is the placement signal: what the router has in flight to the shard
+// plus the scheduler backlog the shard last admitted to.
+func (s *shardState) load() int64 { return s.inflight.Load() + s.depth.Load() }
+
+func (s *shardState) isOpen() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.open
+}
+
+// recordFailure counts one probe/request failure toward the breaker and
+// reports whether this failure opened it.
+func (s *shardState) recordFailure(threshold int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.consecFails++
+	if !s.open && s.consecFails >= threshold {
+		s.open = true
+		s.opens++
+		return true
+	}
+	return false
+}
+
+// recordSuccess resets the failure streak and reports whether it re-admitted
+// a circuit-broken shard.
+func (s *shardState) recordSuccess() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.consecFails = 0
+	if s.open {
+		s.open = false
+		s.closes++
+		return true
+	}
+	return false
+}
+
+func (s *shardState) breakerCounts() (opens, closes uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.opens, s.closes
+}
+
+// Router load-balances the hybridnetd HTTP API across worker shards.
+// Build with New (attach to running workers) or Spawn (supervise worker
+// processes), mount Mux on an http.Server, stop with Shutdown.
+type Router struct {
+	cfg    Config
+	client *http.Client
+	shards []*shardState
+
+	rr    atomic.Uint64 // round-robin cursor
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	proxied   atomic.Uint64 // client requests proxied (any outcome)
+	failovers atomic.Uint64 // requests saved by the second attempt
+	errored   atomic.Uint64 // requests that surfaced a transport error
+
+	stopOnce sync.Once
+	stop     chan struct{} // closes to stop the health loop
+	probed   chan struct{} // closed after the first full probe round
+	done     chan struct{} // health loop exited
+}
+
+// New attaches a Router to already-running workers at the given base URLs
+// (e.g. "http://127.0.0.1:8081"). A scheme-less URL gets "http://".
+func New(urls []string, cfg Config) (*Router, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("shard: router needs at least one worker URL")
+	}
+	shards := make([]*shardState, len(urls))
+	for i, u := range urls {
+		nu, err := normalizeURL(u)
+		if err != nil {
+			return nil, fmt.Errorf("shard: worker %d: %w", i, err)
+		}
+		shards[i] = &shardState{id: i, url: nu}
+	}
+	return newRouter(shards, cfg), nil
+}
+
+func newRouter(shards []*shardState, cfg Config) *Router {
+	cfg = cfg.withDefaults()
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.RequestTimeout}
+	}
+	r := &Router{
+		cfg:    cfg,
+		client: client,
+		shards: shards,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		stop:   make(chan struct{}),
+		probed: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go r.healthLoop()
+	return r
+}
+
+func normalizeURL(u string) (string, error) {
+	u = strings.TrimRight(strings.TrimSpace(u), "/")
+	if u == "" {
+		return "", fmt.Errorf("empty URL")
+	}
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	parsed, err := url.Parse(u)
+	if err != nil {
+		return "", err
+	}
+	if parsed.Host == "" {
+		return "", fmt.Errorf("URL %q has no host", u)
+	}
+	return u, nil
+}
+
+// Shards returns the number of worker shards (healthy or not).
+func (r *Router) Shards() int { return len(r.shards) }
+
+// WaitReady blocks until the first full health-probe round has completed
+// (whatever its outcomes — an unreachable fleet still "readies" so the
+// caller can start serving 502s rather than hang), or until ctx expires.
+// After it returns, placement decisions rest on probed load data rather
+// than zero-value guesses. Useful right after Spawn.
+func (r *Router) WaitReady(ctx context.Context) error {
+	select {
+	case <-r.probed:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("shard: waiting for first probe round: %w", ctx.Err())
+	}
+}
+
+// pick chooses a target shard, excluding `not` (the shard a failed first
+// attempt used). Power-of-two-choices on load between two distinct random
+// routable shards; equal loads fall back to the round-robin cursor. With
+// every breaker open the router still picks (round-robin over what is
+// left): a guess at a possibly-recovered shard beats a guaranteed error.
+func (r *Router) pick(not *shardState) *shardState {
+	routable := make([]*shardState, 0, len(r.shards))
+	for _, s := range r.shards {
+		if s != not && !s.isOpen() {
+			routable = append(routable, s)
+		}
+	}
+	if len(routable) == 0 {
+		for _, s := range r.shards {
+			if s != not {
+				routable = append(routable, s)
+			}
+		}
+	}
+	switch len(routable) {
+	case 0:
+		return not // sole shard: retrying it is the only option
+	case 1:
+		return routable[0]
+	}
+	r.rngMu.Lock()
+	i := r.rng.Intn(len(routable))
+	j := r.rng.Intn(len(routable) - 1)
+	r.rngMu.Unlock()
+	if j >= i {
+		j++
+	}
+	a, b := routable[i], routable[j]
+	la, lb := a.load(), b.load()
+	switch {
+	case la < lb:
+		return a
+	case lb < la:
+		return b
+	default:
+		return routable[r.rr.Add(1)%uint64(len(routable))]
+	}
+}
+
+// Mux returns the router's HTTP API: the same three endpoints a single
+// hybridnetd exposes, served by the fleet.
+func (r *Router) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/classify", r.handleClassify)
+	mux.HandleFunc("/healthz", r.handleHealthz)
+	mux.HandleFunc("/stats", r.handleStats)
+	return mux
+}
+
+// handleClassify proxies one classification to a picked shard, failing over
+// to one other shard on a connection error or 503 before surfacing anything
+// to the client. The worker's response is buffered before a byte reaches
+// the client, so a mid-response worker death is retryable too.
+func (r *Router) handleClassify(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST only"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 16<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("read body: %v", err)})
+		return
+	}
+	r.proxied.Add(1)
+	first := r.pick(nil)
+	status, hdr, respBody, err := r.forward(req.Context(), first, body)
+	if err == nil && status != http.StatusServiceUnavailable {
+		copyResponse(w, status, hdr, respBody)
+		return
+	}
+	// First attempt lost to a dead or shedding shard: one failover — unless
+	// the client itself aborted, in which case nobody is waiting for it.
+	if req.Context().Err() == nil {
+		if second := r.pick(first); second != first {
+			s2, h2, b2, err2 := r.forward(req.Context(), second, body)
+			if err2 == nil {
+				if s2 < 500 {
+					// Only a served response counts as "saved by failover";
+					// a second 503 under fleet-wide shedding does not.
+					r.failovers.Add(1)
+				}
+				copyResponse(w, s2, h2, b2)
+				return
+			}
+		}
+	}
+	if err != nil {
+		if req.Context().Err() != nil {
+			// The client aborted; nobody reads this response and the shard
+			// did not fail. Keep client churn out of the error stats.
+			writeJSON(w, statusClientClosedRequest, map[string]string{
+				"error": "client closed request",
+			})
+			return
+		}
+		r.errored.Add(1)
+		writeJSON(w, http.StatusBadGateway, map[string]string{
+			"error": fmt.Sprintf("shard %d unreachable: %v", first.id, err),
+		})
+		return
+	}
+	copyResponse(w, status, hdr, respBody) // surface the original 503
+}
+
+// forward issues one attempt against one shard and does the breaker
+// bookkeeping: transport errors count toward opening, any response counts
+// as shard liveness. A 503 is a live shard shedding load — failover-worthy
+// but not breaker-worthy. An abort caused by the client (parent context
+// done) is no evidence against the shard, so it never touches the breaker:
+// otherwise a few impatient clients could circuit-break a healthy fleet.
+func (r *Router) forward(parent context.Context, s *shardState, body []byte) (int, http.Header, []byte, error) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	ctx, cancel := context.WithTimeout(parent, r.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.url+"/classify", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		if parent.Err() == nil {
+			if opened := s.recordFailure(r.cfg.BreakerThreshold); opened {
+				r.cfg.Logf("shard: circuit OPEN on shard %d (%s): %v", s.id, s.url, err)
+			}
+		}
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		if parent.Err() == nil {
+			if opened := s.recordFailure(r.cfg.BreakerThreshold); opened {
+				r.cfg.Logf("shard: circuit OPEN on shard %d (%s): %v", s.id, s.url, err)
+			}
+		}
+		return 0, nil, nil, err
+	}
+	if readmitted := s.recordSuccess(); readmitted {
+		r.cfg.Logf("shard: circuit CLOSED on shard %d (%s): request succeeded", s.id, s.url)
+	}
+	return resp.StatusCode, resp.Header, respBody, nil
+}
+
+func copyResponse(w http.ResponseWriter, status int, hdr http.Header, body []byte) {
+	for _, k := range []string{"Content-Type", "Retry-After"} {
+		if v := hdr.Get(k); v != "" {
+			w.Header().Set(k, v)
+		}
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// healthLoop probes every shard's /healthz each interval (in parallel, so a
+// hung shard cannot delay the others), updating the load signal and the
+// breaker: probe failures open it, one probe success re-admits the shard.
+func (r *Router) healthLoop() {
+	defer close(r.done)
+	ticker := time.NewTicker(r.cfg.HealthInterval)
+	defer ticker.Stop()
+	first := true
+	for {
+		var wg sync.WaitGroup
+		for _, s := range r.shards {
+			wg.Add(1)
+			go func(s *shardState) {
+				defer wg.Done()
+				r.probe(s)
+			}(s)
+		}
+		wg.Wait()
+		if first {
+			first = false
+			close(r.probed)
+		}
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+func (r *Router) probe(s *shardState) {
+	timeout := r.cfg.HealthInterval
+	if timeout < 100*time.Millisecond {
+		timeout = 100 * time.Millisecond
+	}
+	if timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.url+"/healthz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := r.client.Do(req)
+	if err == nil {
+		var health struct {
+			QueueDepth int64 `json:"queue_depth"`
+		}
+		decodeErr := json.NewDecoder(resp.Body).Decode(&health)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if decodeErr == nil && resp.StatusCode == http.StatusOK {
+			s.depth.Store(health.QueueDepth)
+			if readmitted := s.recordSuccess(); readmitted {
+				r.cfg.Logf("shard: circuit CLOSED on shard %d (%s): probe succeeded", s.id, s.url)
+			}
+			return
+		}
+		err = fmt.Errorf("healthz status %d (decode: %v)", resp.StatusCode, decodeErr)
+	}
+	if opened := s.recordFailure(r.cfg.BreakerThreshold); opened {
+		r.cfg.Logf("shard: circuit OPEN on shard %d (%s): %v", s.id, s.url, err)
+	}
+}
+
+// ShardStatus is one shard's entry in the /stats report.
+type ShardStatus struct {
+	ID            int          `json:"id"`
+	URL           string       `json:"url"`
+	Healthy       bool         `json:"healthy"` // breaker closed
+	Inflight      int64        `json:"inflight"`
+	QueueDepth    int64        `json:"queue_depth"` // last /healthz report
+	BreakerOpens  uint64       `json:"breaker_opens"`
+	BreakerCloses uint64       `json:"breaker_closes"`
+	Stats         *serve.Stats `json:"stats,omitempty"`
+	Error         string       `json:"error,omitempty"` // why Stats is missing
+}
+
+// StatsReport is the router's GET /stats body: the serve.Merge aggregate of
+// every reachable shard plus per-shard detail and router-level counters.
+type StatsReport struct {
+	Aggregate serve.Stats   `json:"aggregate"`
+	Shards    []ShardStatus `json:"shards"`
+	Proxied   uint64        `json:"proxied"`
+	Failovers uint64        `json:"failovers"`
+	Errors    uint64        `json:"errors"`
+}
+
+// Report fetches every shard's /stats (in parallel) and merges them.
+func (r *Router) Report(ctx context.Context) StatsReport {
+	statuses := make([]ShardStatus, len(r.shards))
+	var wg sync.WaitGroup
+	for i, s := range r.shards {
+		wg.Add(1)
+		go func(i int, s *shardState) {
+			defer wg.Done()
+			st := ShardStatus{
+				ID: s.id, URL: s.url, Healthy: !s.isOpen(),
+				Inflight: s.inflight.Load(), QueueDepth: s.depth.Load(),
+			}
+			st.BreakerOpens, st.BreakerCloses = s.breakerCounts()
+			stats, err := r.fetchStats(ctx, s)
+			if err != nil {
+				st.Error = err.Error()
+			} else {
+				st.Stats = stats
+			}
+			statuses[i] = st
+		}(i, s)
+	}
+	wg.Wait()
+	var per []serve.Stats
+	for _, st := range statuses {
+		if st.Stats != nil {
+			per = append(per, *st.Stats)
+		}
+	}
+	return StatsReport{
+		Aggregate: serve.Merge(per...),
+		Shards:    statuses,
+		Proxied:   r.proxied.Load(),
+		Failovers: r.failovers.Load(),
+		Errors:    r.errored.Load(),
+	}
+}
+
+func (r *Router) fetchStats(ctx context.Context, s *shardState) (*serve.Stats, error) {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.url+"/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("stats status %d", resp.StatusCode)
+	}
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, r.Report(req.Context()))
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	healthy := 0
+	for _, s := range r.shards {
+		if !s.isOpen() {
+			healthy++
+		}
+	}
+	status := http.StatusOK
+	body := map[string]any{
+		"status": "ok", "shards": len(r.shards), "healthy": healthy,
+	}
+	if healthy == 0 {
+		status = http.StatusServiceUnavailable
+		body["status"] = "no healthy shards"
+	}
+	writeJSON(w, status, body)
+}
+
+// Shutdown stops the health loop and drains the fleet: spawned workers get
+// SIGTERM (each drains its own scheduler before exiting) and are awaited
+// until ctx expires, then killed. Attached workers are left running — the
+// router does not own them. Idempotent.
+func (r *Router) Shutdown(ctx context.Context) error {
+	r.stopOnce.Do(func() { close(r.stop) })
+	select {
+	case <-r.done:
+	case <-ctx.Done():
+		return fmt.Errorf("shard: shutdown: %w", ctx.Err())
+	}
+	var errs []error
+	for _, s := range r.shards {
+		if s.proc == nil {
+			continue
+		}
+		if err := s.proc.drain(ctx, r.cfg.Logf); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", s.id, err))
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,87 @@
+package shard
+
+import (
+	"context"
+	"net/http/httptest"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestSpawnSupervisesRealWorkers is the process-level end of the failover
+// story: the router builds and spawns two real hybridnetd demo workers,
+// learns their kernel-assigned ports from the stdout report, serves through
+// them, survives a SIGKILL of one, and SIGTERM-drains the rest on shutdown.
+func TestSpawnSupervisesRealWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real worker processes")
+	}
+	bin := filepath.Join(t.TempDir(), "hybridnetd")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/hybridnetd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build hybridnetd: %v\n%s", err, out)
+	}
+
+	cfg := testConfig(t)
+	router, err := Spawn(bin, 2, []string{"-demo", "-size", "32"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shutdown := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		return router.Shutdown(ctx)
+	}
+	defer shutdown()
+
+	readyCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := router.WaitReady(readyCtx); err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(router.Mux())
+	defer front.Close()
+
+	client := front.Client()
+	for i := 0; i < 6; i++ {
+		if err := classifyOK(client, front.URL); err != nil {
+			t.Fatalf("pre-kill request %d: %v", i, err)
+		}
+	}
+
+	// SIGKILL one worker — no drain, no warning, like an OOM kill.
+	victim := router.shards[0].proc
+	if err := victim.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "victim reaped", victim.exited)
+	for i := 0; i < 6; i++ {
+		if err := classifyOK(client, front.URL); err != nil {
+			t.Fatalf("post-kill request %d: %v", i, err)
+		}
+	}
+	waitFor(t, "breaker open on killed worker", func() bool {
+		rep := router.Report(context.Background())
+		return !rep.Shards[0].Healthy
+	})
+
+	// The survivor's stats carry the whole fleet's aggregate now.
+	rep := router.Report(context.Background())
+	if rep.Shards[1].Stats == nil {
+		t.Fatalf("surviving shard has no stats: %s", rep.Shards[1].Error)
+	}
+	if rep.Aggregate.Completed < 6 || rep.Aggregate.Completed != rep.Shards[1].Stats.Completed {
+		t.Fatalf("aggregate completed %d, survivor completed %d",
+			rep.Aggregate.Completed, rep.Shards[1].Stats.Completed)
+	}
+
+	// Clean SIGTERM drain of the survivor; the dead worker drains trivially.
+	if err := shutdown(); err != nil {
+		t.Fatalf("fleet shutdown: %v", err)
+	}
+	waitFor(t, "survivor exited", router.shards[1].proc.exited)
+	if err := router.shards[1].proc.waitError(); err != nil {
+		t.Fatalf("survivor exit status: %v", err)
+	}
+}
