@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"testing"
 	"time"
 
@@ -315,6 +316,64 @@ func BenchmarkScheduler_Throughput(b *testing.B) {
 					b.Fatal(err)
 				}
 			})
+		}
+	}
+}
+
+// Latency quantile estimation — the mergeable log-bucketed serve.Histogram
+// against the fixed sorted-window buffer it replaced. Observe is the
+// per-request cost; Quantile is the per-/stats-snapshot cost (the window
+// pays a copy+sort per snapshot, the histogram a clone plus two bucket
+// walks). The histogram also merges across shards exactly, which the
+// window never could.
+
+var benchLatencies = func() []time.Duration {
+	rng := rand.New(rand.NewSource(9))
+	out := make([]time.Duration, 4096)
+	for i := range out {
+		out[i] = time.Duration(rng.Int63n(int64(100 * time.Millisecond)))
+	}
+	return out
+}()
+
+func BenchmarkLatencyObserve_Histogram(b *testing.B) {
+	h := serve.NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(benchLatencies[i%len(benchLatencies)])
+	}
+}
+
+func BenchmarkLatencyObserve_Window(b *testing.B) {
+	window := make([]time.Duration, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		window[i%len(window)] = benchLatencies[i%len(benchLatencies)]
+	}
+}
+
+func BenchmarkLatencyQuantile_Histogram(b *testing.B) {
+	h := serve.NewHistogram()
+	for _, d := range benchLatencies[:1024] {
+		h.Observe(d)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		snap := h.Clone() // what a stats snapshot pays
+		if snap.Quantile(0.50) == 0 || snap.Quantile(0.99) == 0 {
+			b.Fatal("zero quantile")
+		}
+	}
+}
+
+func BenchmarkLatencyQuantile_Window(b *testing.B) {
+	window := append([]time.Duration(nil), benchLatencies[:1024]...)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sorted := append([]time.Duration(nil), window...)
+		sort.Slice(sorted, func(x, y int) bool { return sorted[x] < sorted[y] })
+		if serve.NearestRank(sorted, 0.50) == 0 || serve.NearestRank(sorted, 0.99) == 0 {
+			b.Fatal("zero quantile")
 		}
 	}
 }

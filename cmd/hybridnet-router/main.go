@@ -3,11 +3,13 @@
 // replica and micro-batching scheduler, and presents the same three
 // endpoints a single daemon exposes.
 //
-//	POST /classify  routed to a shard: power-of-two-choices on live queue
-//	                depth, round-robin on ties; one automatic failover on a
-//	                dead or load-shedding (503) shard
+//	POST /classify  routed to a shard: weighted power-of-two-choices on
+//	                load per capacity (-weights, -adaptive-weights),
+//	                round-robin on ties; one automatic failover on a dead
+//	                or load-shedding (503) shard
 //	GET  /healthz   router + fleet health (503 once no shard is routable)
 //	GET  /stats     per-shard serve.Stats plus the serve.Merge aggregate
+//	                (fleet latency quantiles from merged histograms)
 //
 // The router either spawns and supervises its own workers (each started
 // with -addr 127.0.0.1:0; the bound port is read from the worker's stdout
@@ -18,12 +20,17 @@
 //
 // Shards are health-checked continuously; a shard that keeps failing is
 // circuit-broken out of placement and re-admitted on the first successful
-// probe. SIGINT/SIGTERM drains the fleet: spawned workers get SIGTERM and
-// drain their own schedulers before the router exits.
+// probe. A spawned worker that dies is respawned with exponential backoff
+// (-restart-backoff, up to -restart-max consecutive attempts before the
+// shard is declared permanently down), so a SIGKILLed worker rejoins the
+// fleet without operator action. SIGINT/SIGTERM drains the fleet: spawned
+// workers get SIGTERM and drain their own schedulers before the router
+// exits.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -31,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -40,6 +48,9 @@ import (
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // usage already printed; -h is not an error
+		}
 		fmt.Fprintln(os.Stderr, "hybridnet-router:", err)
 		os.Exit(1)
 	}
@@ -55,6 +66,10 @@ func run(args []string) error {
 	healthInterval := fs.Duration("health-interval", 250*time.Millisecond, "shard health-probe period")
 	breaker := fs.Int("breaker", 3, "consecutive failures before a shard is circuit-broken")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-attempt proxy timeout")
+	weights := fs.String("weights", "", "comma-separated per-shard capacity weights (empty = all equal)")
+	adaptive := fs.Bool("adaptive-weights", true, "scale placement by each worker's reported per-image service time")
+	restartMax := fs.Int("restart-max", 5, "consecutive respawn attempts before a dead worker is permanently down (0 = default, negative disables respawn)")
+	restartBackoff := fs.Duration("restart-backoff", 250*time.Millisecond, "initial respawn backoff (doubles per consecutive attempt)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,6 +78,16 @@ func run(args []string) error {
 		HealthInterval:   *healthInterval,
 		BreakerThreshold: *breaker,
 		RequestTimeout:   *timeout,
+		AdaptiveWeights:  *adaptive,
+		RestartMax:       *restartMax,
+		RestartBackoff:   *restartBackoff,
+	}
+	if *weights != "" {
+		w, err := parseWeights(*weights)
+		if err != nil {
+			return err
+		}
+		cfg.Weights = w
 	}
 	var router *shard.Router
 	var err error
@@ -127,6 +152,24 @@ func run(args []string) error {
 	log.Printf("hybridnet-router drained: %d proxied (%d failovers), fleet completed %d in %d batches (mean %.2f)",
 		rep.Proxied, rep.Failovers, rep.Aggregate.Completed, rep.Aggregate.Batches, rep.Aggregate.MeanBatch)
 	return nil
+}
+
+// parseWeights turns the -weights flag into shard.Config.Weights; the
+// Router validates count and positivity against the shard count.
+func parseWeights(s string) ([]float64, error) {
+	parts := splitList(s)
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		w, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -weights entry %q: %w", p, err)
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-weights has no entries")
+	}
+	return out, nil
 }
 
 // splitList splits a comma-separated flag value, tolerating whitespace and

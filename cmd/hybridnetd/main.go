@@ -45,6 +45,9 @@ import (
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // usage already printed; -h is not an error
+		}
 		fmt.Fprintln(os.Stderr, "hybridnetd:", err)
 		os.Exit(1)
 	}
@@ -288,11 +291,15 @@ func (s *server) decodeImage(req classifyRequest) (*tensor.Tensor, error) {
 	}
 }
 
+// handleHealthz reports liveness plus the two signals the shard router
+// feeds into placement: the live queue depth (load) and the rolling
+// per-image service time (capacity, for adaptive weighting).
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.sched.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":      "ok",
 		"queue_depth": st.QueueDepth,
+		"service_ns":  st.ServiceTime.Nanoseconds(),
 		"uptime_s":    time.Since(s.start).Seconds(),
 	})
 }

@@ -29,10 +29,10 @@ import (
 	"io"
 	"net/http"
 	"os"
-	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/serve"
 	"repro/internal/shard"
 )
 
@@ -51,9 +51,14 @@ func main() {
 	}
 }
 
+// tally accumulates client-side observations. Latencies go straight into a
+// serve.Histogram — the same mergeable log-bucketed structure the servers
+// report — so the client-side quantiles are directly comparable to the
+// /stats ones (both exact-to-bucket) and the memory cost is flat no matter
+// how long the run is.
 type tally struct {
 	mu        sync.Mutex
-	latencies []time.Duration
+	latencies *serve.Histogram
 	status    map[int]int
 	errors    int
 	shed      int
@@ -72,7 +77,7 @@ func run(addr string, rps float64, duration time.Duration, sign string, concurre
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 
-	t := &tally{status: map[int]int{}}
+	t := &tally{latencies: serve.NewHistogram(), status: map[int]int{}}
 	sem := make(chan struct{}, concurrency)
 	var wg sync.WaitGroup
 	interval := time.Duration(float64(time.Second) / rps)
@@ -113,7 +118,7 @@ func run(addr string, rps float64, duration time.Duration, sign string, concurre
 			t.mu.Lock()
 			t.status[resp.StatusCode]++
 			if resp.StatusCode == http.StatusOK {
-				t.latencies = append(t.latencies, lat)
+				t.latencies.Observe(lat)
 			}
 			t.mu.Unlock()
 		}(seq)
@@ -134,17 +139,15 @@ func run(addr string, rps float64, duration time.Duration, sign string, concurre
 	if t.shed > 0 {
 		fmt.Printf("  shed at client (concurrency %d): %d\n", concurrency, t.shed)
 	}
-	if len(t.latencies) == 0 {
+	n := t.latencies.Count()
+	if n == 0 {
 		return fmt.Errorf("no successful requests")
 	}
-	sort.Slice(t.latencies, func(i, j int) bool { return t.latencies[i] < t.latencies[j] })
-	q := func(p float64) time.Duration {
-		return t.latencies[int(float64(len(t.latencies)-1)*p)]
-	}
-	fmt.Printf("latency (n=%d): p50 %v  p90 %v  p99 %v  max %v\n",
-		len(t.latencies), q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
-		q(0.99).Round(time.Microsecond), t.latencies[len(t.latencies)-1].Round(time.Microsecond))
-	fmt.Printf("success throughput: %.1f rps\n", float64(len(t.latencies))/duration.Seconds())
+	q := t.latencies.Quantile
+	fmt.Printf("latency (n=%d, bucketed): p50 %v  p90 %v  p99 %v  max %v\n",
+		n, q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
+		q(0.99).Round(time.Microsecond), t.latencies.Max().Round(time.Microsecond))
+	fmt.Printf("success throughput: %.1f rps\n", float64(n)/duration.Seconds())
 	if router {
 		return reportShards(client, addr)
 	}
@@ -173,21 +176,32 @@ func reportShards(client *http.Client, addr string) error {
 	fmt.Printf("router: %d proxied, %d failovers, %d errors\n", rep.Proxied, rep.Failovers, rep.Errors)
 	for _, s := range rep.Shards {
 		state := "healthy"
-		if !s.Healthy {
+		switch {
+		case s.PermanentlyDown:
+			state = "DOWN"
+		case !s.Healthy:
 			state = "BROKEN"
+		}
+		if s.Restarts > 0 {
+			state = fmt.Sprintf("%s (respawned %d×)", state, s.Restarts)
 		}
 		if s.Stats == nil {
 			fmt.Printf("  shard %d %-22s %s  stats unavailable: %s\n", s.ID, s.URL, state, s.Error)
 			continue
 		}
-		fmt.Printf("  shard %d %-22s %s  completed %d (mean batch %.2f)  p50 %v  p99 %v  max %v\n",
-			s.ID, s.URL, state, s.Stats.Completed, s.Stats.MeanBatch,
+		fmt.Printf("  shard %d %-22s %s  w=%.1f svc=%v  completed %d (mean batch %.2f)  p50 %v  p99 %v  max %v\n",
+			s.ID, s.URL, state, s.Weight, s.ServiceTime.Round(time.Microsecond),
+			s.Stats.Completed, s.Stats.MeanBatch,
 			s.Stats.LatencyP50.Round(time.Microsecond), s.Stats.LatencyP99.Round(time.Microsecond),
 			s.Stats.LatencyMax.Round(time.Microsecond))
 	}
 	agg := rep.Aggregate
-	fmt.Printf("  aggregate%-22s          completed %d (mean batch %.2f)  p50 %v  p99 %v  max %v\n",
-		"", agg.Completed, agg.MeanBatch,
+	exact := "count-weighted"
+	if agg.LatencyHist != nil {
+		exact = "merged-histogram exact"
+	}
+	fmt.Printf("  aggregate (%d shards, %s)  completed %d (mean batch %.2f)  p50 %v  p99 %v  max %v\n",
+		agg.Shards, exact, agg.Completed, agg.MeanBatch,
 		agg.LatencyP50.Round(time.Microsecond), agg.LatencyP99.Round(time.Microsecond),
 		agg.LatencyMax.Round(time.Microsecond))
 	return nil

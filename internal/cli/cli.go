@@ -1,6 +1,17 @@
 // Package cli holds the model-loading and network-construction plumbing
 // shared by the hybridnet CLI and the hybridnetd daemon, so the two
-// binaries cannot drift apart on how a hybrid network is assembled.
+// binaries cannot drift apart on how a hybrid network is assembled — plus
+// the worker-mode address-report protocol (WriteAddrReport /
+// ParseAddrReport) the hybridnet-router supervisor uses to learn a spawned
+// worker's kernel-assigned port from its stdout.
+//
+// # Concurrency contract
+//
+// Everything here is a pure constructor or a stateless formatter: each call
+// builds fresh state from its arguments (seeded RNGs included) and shares
+// nothing, so all functions are safe to call from any number of goroutines.
+// The networks they return carry their own concurrency rules — see
+// internal/nn (immutable weights + per-call Context) and internal/core.
 package cli
 
 import (

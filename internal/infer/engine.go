@@ -11,6 +11,17 @@
 // dedicated inference. Batch sizes only need to be large enough to keep the
 // pool busy — a few times the worker count; there is no algorithmic batch
 // effect beyond scratch-buffer reuse inside each worker.
+//
+// # Concurrency contract
+//
+// A BatchEngine runs ONE batch at a time: an overlapping Run (or anything
+// built on it — Forward, Predict) fails fast with ErrBusy, because the
+// per-worker contexts it would reuse are not re-entrant. Callers that issue
+// batches from several goroutines serialize through RunExclusive, the
+// mutex-guarded entry point (core.BatchClassifier does). Within a batch,
+// work items are claimed lock-free through internal/pool work stealing;
+// each worker touches only its own nn.Context and reliable.Engine, so no
+// state is shared between workers except the immutable network weights.
 package infer
 
 import (

@@ -8,22 +8,34 @@ import "time"
 //   - Counters (Submitted, Rejected, Expired, ExpiredDispatched, Completed,
 //     Failed, Batches), queue occupancy, and BackendBusy are sums, so the
 //     merged totals equal the sum of the per-shard counters.
+//   - Shards sums so the aggregate reports fleet size; a zero-valued Stats
+//     (an unreachable or idle shard) still counts one shard.
 //   - BatchHist is the element-wise sum via MergeBatchHist (shards may run
 //     different MaxBatch; the merged histogram takes the longest length).
 //   - MeanBatch is recomputed from the merged totals (dispatched images over
 //     batches), not averaged — averaging per-shard means would weight an
 //     idle shard equally with a busy one.
-//   - LatencyMax is the max; LatencyCount is the sum. LatencyP50/P99 are
-//     LatencyCount-weighted means of the per-shard quantiles — an
-//     approximation (exact fleet quantiles need the raw windows), biased
-//     toward the busy shards, which is the fleet question being asked.
+//   - Latency quantiles come from the element-wise sum of the per-shard
+//     LatencyHist histograms, so the fleet p50/p99 are exact-to-bucket:
+//     identical to a single process observing every sample. Only when some
+//     shard carries samples but no histogram (an older worker) does the
+//     merge fall back to the historical count-weighted mean of per-shard
+//     quantiles. LatencyMax is the exact max either way.
+//   - ServiceTime is the dispatched-weighted mean of the shard estimates.
 //   - Uptime is the max: the fleet has been up as long as its oldest shard.
-//
-// Shards with no latency samples contribute nothing to the quantile merge.
 func Merge(shards ...Stats) Stats {
 	var m Stats
+	hist := NewHistogram()
+	exact := true
 	var p50w, p99w float64
+	var svcW float64
+	var svcN uint64
 	for _, s := range shards {
+		if s.Shards > 0 {
+			m.Shards += s.Shards
+		} else {
+			m.Shards++
+		}
 		m.Submitted += s.Submitted
 		m.Rejected += s.Rejected
 		m.Expired += s.Expired
@@ -42,13 +54,33 @@ func Merge(shards ...Stats) Stats {
 			m.LatencyMax = s.LatencyMax
 		}
 		m.LatencyCount += s.LatencyCount
+		if s.LatencyHist != nil {
+			hist.Merge(s.LatencyHist)
+		} else if s.LatencyCount > 0 {
+			exact = false
+		}
 		p50w += float64(s.LatencyP50) * float64(s.LatencyCount)
 		p99w += float64(s.LatencyP99) * float64(s.LatencyCount)
+		if d := s.Dispatched(); s.ServiceTime > 0 && d > 0 {
+			svcW += float64(s.ServiceTime) * float64(d)
+			svcN += d
+		}
 	}
 	if m.Batches > 0 {
 		m.MeanBatch = float64(m.Dispatched()) / float64(m.Batches)
 	}
-	if m.LatencyCount > 0 {
+	if svcN > 0 {
+		m.ServiceTime = time.Duration(svcW / float64(svcN))
+	}
+	switch {
+	case exact:
+		m.LatencyHist = hist
+		if hist.Count() > 0 {
+			m.LatencyCount = int(hist.Count())
+			m.LatencyP50 = hist.Quantile(0.50)
+			m.LatencyP99 = hist.Quantile(0.99)
+		}
+	case m.LatencyCount > 0:
 		m.LatencyP50 = time.Duration(p50w / float64(m.LatencyCount))
 		m.LatencyP99 = time.Duration(p99w / float64(m.LatencyCount))
 	}

@@ -15,6 +15,21 @@
 // retry with backoff. Per-request context deadlines are honoured both while
 // queued (an expired request is dropped before it costs backend work) and
 // while waiting for the batch to complete.
+//
+// # Concurrency contract
+//
+// Submit is safe from any number of goroutines; a single flusher goroutine
+// owns batch formation and is the only caller of the backend. Every request
+// resolves through a single-outcome CAS state machine
+// (pending → dispatched → delivered | expired), so the delivery/expiry race
+// lands each request in exactly one stats bucket no matter how it falls.
+//
+// # Observability
+//
+// Stats() snapshots the counters plus a cumulative log-bucketed latency
+// Histogram; histograms from many schedulers Merge exactly, which is how
+// the shard router computes fleet quantiles that match a single-process
+// run bucket-for-bucket.
 package serve
 
 import (
@@ -57,9 +72,6 @@ type Config struct {
 	// QueueSize bounds the number of accepted-but-unflushed requests;
 	// Submit fails with ErrQueueFull beyond it. Default 8 × MaxBatch.
 	QueueSize int
-	// LatencyWindow is the number of recent request latencies kept for the
-	// p50/p99 estimates. Default 1024.
-	LatencyWindow int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -77,12 +89,6 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.QueueSize < 1 {
 		return c, fmt.Errorf("serve: QueueSize %d must be >= 1", c.QueueSize)
-	}
-	if c.LatencyWindow == 0 {
-		c.LatencyWindow = 1024
-	}
-	if c.LatencyWindow < 1 {
-		return c, fmt.Errorf("serve: LatencyWindow %d must be >= 1", c.LatencyWindow)
 	}
 	return c, nil
 }
@@ -168,7 +174,7 @@ func New(backend Backend, cfg Config) (*Scheduler, error) {
 		queue:   make(chan *request, cfg.QueueSize),
 		drained: make(chan struct{}),
 	}
-	s.stats.init(cfg.MaxBatch, cfg.LatencyWindow)
+	s.stats.init(cfg.MaxBatch)
 	go s.run()
 	return s, nil
 }
@@ -356,7 +362,7 @@ func (s *Scheduler) flush(batch []*request) {
 			lats = append(lats, now.Sub(r.enq))
 		}
 		// A lost CAS means the submitter expired the request mid-batch: the
-		// result is discarded and its latency stays out of the window.
+		// result is discarded and its latency stays out of the histogram.
 	}
 	s.stats.completed(lats)
 }

@@ -442,7 +442,6 @@ func TestSchedulerValidation(t *testing.T) {
 		{MaxBatch: -1},
 		{MaxDelay: -time.Second},
 		{QueueSize: -1},
-		{LatencyWindow: -1},
 	}
 	fb := newFakeBackend(nil)
 	for _, cfg := range bad {
@@ -454,7 +453,7 @@ func TestSchedulerValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := s.Config(); got.MaxBatch != 8 || got.QueueSize != 64 || got.LatencyWindow != 1024 {
+	if got := s.Config(); got.MaxBatch != 8 || got.QueueSize != 64 {
 		t.Fatalf("defaults not applied: %+v", got)
 	}
 	if _, err := s.Submit(context.Background(), nil); err == nil {
@@ -472,7 +471,7 @@ func TestSchedulerValidation(t *testing.T) {
 // backend must resolve to exactly one outcome. The caller gets ctx.Err(),
 // the buffered result is discarded, and the stats count it as
 // ExpiredDispatched — never Completed, and its latency never enters the
-// rolling window.
+// histogram.
 func TestSchedulerExpiryInFlightSingleOutcome(t *testing.T) {
 	backend := &blockingBackend{
 		entered: make(chan int, 4),
@@ -511,7 +510,7 @@ func TestSchedulerExpiryInFlightSingleOutcome(t *testing.T) {
 			st.Submitted, st.Expired, st.ExpiredDispatched, st.Completed, st.Failed)
 	}
 	if st.LatencyCount != 1 {
-		t.Fatalf("latency window holds %d samples; the expired request's latency leaked in", st.LatencyCount)
+		t.Fatalf("latency histogram holds %d samples; the expired request's latency leaked in", st.LatencyCount)
 	}
 	if st.Batches != 2 {
 		t.Fatalf("batches %d, want 2 (the expired request's batch still ran)", st.Batches)
@@ -521,7 +520,7 @@ func TestSchedulerExpiryInFlightSingleOutcome(t *testing.T) {
 // TestSchedulerAccountingUnderChurn hammers the delivery/expiry race from
 // many goroutines (run under -race) and pins the global invariant: every
 // submitted request lands in exactly one outcome bucket, the client-observed
-// outcomes match the counters exactly, and the latency window only ever
+// outcomes match the counters exactly, and the latency histogram only ever
 // holds completed requests.
 func TestSchedulerAccountingUnderChurn(t *testing.T) {
 	backend := &slowBackend{delay: 500 * time.Microsecond}
@@ -570,7 +569,7 @@ func TestSchedulerAccountingUnderChurn(t *testing.T) {
 		t.Fatalf("clients saw %d ctx errors but expired=%d+%d", got, st.Expired, st.ExpiredDispatched)
 	}
 	if uint64(st.LatencyCount) > st.Completed {
-		t.Fatalf("latency window %d > completed %d", st.LatencyCount, st.Completed)
+		t.Fatalf("latency histogram %d > completed %d", st.LatencyCount, st.Completed)
 	}
 	t.Logf("churn: %d completed, %d expired queued, %d expired in flight (%d batches)",
 		st.Completed, st.Expired, st.ExpiredDispatched, st.Batches)

@@ -2,20 +2,24 @@ package serve
 
 import (
 	"math"
-	"sort"
 	"sync"
 	"time"
 )
 
 // Stats is a point-in-time snapshot of a Scheduler's counters. Latency
-// quantiles are computed over a rolling window of recent requests
-// (Config.LatencyWindow) using nearest-rank selection; durations are
-// nanoseconds in JSON.
+// quantiles are nearest-rank selections over a cumulative log-bucketed
+// histogram (LatencyHist) — exact-to-bucket, see Histogram — and durations
+// are nanoseconds in JSON.
 //
 // Every submitted request resolves to exactly one of Expired,
 // ExpiredDispatched, Completed or Failed, so once the queue is drained
 // Submitted equals their sum.
 type Stats struct {
+	// Shards is how many schedulers this snapshot covers: 1 for a
+	// Scheduler's own stats, the fleet size for a Merge aggregate
+	// (unreachable shards merged as zero-valued stats still count).
+	Shards int `json:"shards,omitempty"`
+
 	// Admission counters.
 	Submitted uint64 `json:"submitted"` // accepted into the queue
 	Rejected  uint64 `json:"rejected"`  // ErrQueueFull admissions
@@ -37,11 +41,19 @@ type Stats struct {
 	QueueDepth int `json:"queue_depth"`
 	QueueCap   int `json:"queue_cap"`
 
-	// Rolling end-to-end latency (enqueue → response) over the window.
+	// End-to-end latency (enqueue → response) since process start.
+	// LatencyHist is the full mergeable histogram; the quantile fields are
+	// derived from it at snapshot time for convenience.
 	LatencyCount int           `json:"latency_count"`
 	LatencyP50   time.Duration `json:"latency_p50_ns"`
 	LatencyP99   time.Duration `json:"latency_p99_ns"`
 	LatencyMax   time.Duration `json:"latency_max_ns"`
+	LatencyHist  *Histogram    `json:"latency_hist,omitempty"`
+
+	// ServiceTime is a rolling (EWMA, α=1/8) estimate of backend time per
+	// image — the shard's speed, independent of queueing. The shard router
+	// uses it for heterogeneity-aware weighted placement.
+	ServiceTime time.Duration `json:"service_ns"`
 
 	// BackendBusy is cumulative wall time spent inside the backend; over
 	// uptime it gives backend utilisation.
@@ -55,11 +67,12 @@ func (s Stats) Dispatched() uint64 {
 	return s.Completed + s.Failed + s.ExpiredDispatched
 }
 
-// NearestRank is the quantile rule used for the latency estimates: the
+// NearestRank is the quantile rule used throughout the serving stats: the
 // nearest-rank (ceil) selection q = sorted[ceil(p·n)-1] over a sorted,
 // ascending window. Unlike floor indexing it never collapses a high
 // quantile onto the median for small windows — for n < 100, P99 is the
-// window maximum. p outside (0,1] is clamped.
+// window maximum. p outside (0,1] is clamped. Histogram.Quantile applies
+// the same rule over bucket counts.
 func NearestRank(sorted []time.Duration, p float64) time.Duration {
 	n := len(sorted)
 	if n == 0 {
@@ -89,17 +102,14 @@ type statsState struct {
 	nDispatched uint64
 	batchHist   []uint64
 	busy        time.Duration
-
-	// lat is a ring buffer of the most recent request latencies.
-	lat     []time.Duration
-	latNext int
-	latLen  int
+	service     time.Duration // EWMA backend time per image
+	lat         *Histogram
 }
 
-func (st *statsState) init(maxBatch, window int) {
+func (st *statsState) init(maxBatch int) {
 	st.start = time.Now()
 	st.batchHist = make([]uint64, maxBatch)
-	st.lat = make([]time.Duration, window)
+	st.lat = NewHistogram()
 }
 
 func (st *statsState) submitted() {
@@ -126,13 +136,20 @@ func (st *statsState) expiredDispatched() {
 	st.mu.Unlock()
 }
 
-// batchDone records one backend invocation of n images taking busy wall time.
+// batchDone records one backend invocation of n images taking busy wall
+// time, and folds busy/n into the rolling per-image service-time estimate.
 func (st *statsState) batchDone(n int, busy time.Duration) {
 	st.mu.Lock()
 	st.nBatches++
 	st.nDispatched += uint64(n)
 	st.batchHist[n-1]++
 	st.busy += busy
+	perImage := busy / time.Duration(n)
+	if st.service == 0 {
+		st.service = perImage
+	} else {
+		st.service += (perImage - st.service) / 8
+	}
 	st.mu.Unlock()
 }
 
@@ -146,11 +163,7 @@ func (st *statsState) completed(lats []time.Duration) {
 	st.mu.Lock()
 	st.nCompleted += uint64(len(lats))
 	for _, l := range lats {
-		st.lat[st.latNext] = l
-		st.latNext = (st.latNext + 1) % len(st.lat)
-		if st.latLen < len(st.lat) {
-			st.latLen++
-		}
+		st.lat.Observe(l)
 	}
 	st.mu.Unlock()
 }
@@ -159,6 +172,7 @@ func (st *statsState) snapshot(depth, capacity int) Stats {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	s := Stats{
+		Shards:            1,
 		Submitted:         st.nSubmitted,
 		Rejected:          st.nRejected,
 		Expired:           st.nExpired,
@@ -169,19 +183,19 @@ func (st *statsState) snapshot(depth, capacity int) Stats {
 		BatchHist:         append([]uint64(nil), st.batchHist...),
 		QueueDepth:        depth,
 		QueueCap:          capacity,
+		ServiceTime:       st.service,
 		BackendBusy:       st.busy,
 		Uptime:            time.Since(st.start),
 	}
 	if st.nBatches > 0 {
 		s.MeanBatch = float64(st.nDispatched) / float64(st.nBatches)
 	}
-	if st.latLen > 0 {
-		window := append([]time.Duration(nil), st.lat[:st.latLen]...)
-		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
-		s.LatencyCount = st.latLen
-		s.LatencyP50 = NearestRank(window, 0.50)
-		s.LatencyP99 = NearestRank(window, 0.99)
-		s.LatencyMax = window[st.latLen-1]
+	s.LatencyHist = st.lat.Clone()
+	if n := st.lat.Count(); n > 0 {
+		s.LatencyCount = int(n)
+		s.LatencyP50 = st.lat.Quantile(0.50)
+		s.LatencyP99 = st.lat.Quantile(0.99)
+		s.LatencyMax = st.lat.Max()
 	}
 	return s
 }

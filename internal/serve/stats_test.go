@@ -51,36 +51,52 @@ func TestNearestRankSmallWindows(t *testing.T) {
 	}
 }
 
-// TestSnapshotQuantiles drives the ring buffer directly: with 10 samples the
-// snapshot's P99 must be the window max, not the median neighbourhood.
+// TestSnapshotQuantiles drives the stats state directly: quantiles are
+// exact-to-bucket (a nearest-rank selection rounded up to the bucket bound,
+// never past the exact max), the histogram rides along in the snapshot, and
+// the service-time EWMA tracks backend time per image.
 func TestSnapshotQuantiles(t *testing.T) {
 	var st statsState
-	st.init(10, 64)
+	st.init(10)
 	lats := make([]time.Duration, 10)
 	for i := range lats {
 		lats[i] = time.Duration(i+1) * time.Millisecond
 	}
-	st.batchDone(len(lats), time.Millisecond)
+	st.batchDone(len(lats), 10*time.Millisecond)
 	st.completed(lats)
 	s := st.snapshot(0, 0)
 	if s.LatencyCount != 10 {
 		t.Fatalf("latency count %d", s.LatencyCount)
 	}
-	if s.LatencyP50 != 5*time.Millisecond {
-		t.Errorf("p50 = %v, want 5ms", s.LatencyP50)
+	// True p50 is 5ms; the bucketed estimate rounds up to the bucket bound,
+	// at most 2^(1/4)-1 ≈ 19% above.
+	if s.LatencyP50 < 5*time.Millisecond || s.LatencyP50 > 5*time.Millisecond*119/100 {
+		t.Errorf("p50 = %v, want within one bucket above 5ms", s.LatencyP50)
 	}
+	// p99 of 10 samples is the max, and the quantile clamps to the exact max.
 	if s.LatencyP99 != 10*time.Millisecond {
-		t.Errorf("p99 = %v, want the 10ms window max", s.LatencyP99)
+		t.Errorf("p99 = %v, want the exact 10ms max", s.LatencyP99)
 	}
 	if s.LatencyMax != 10*time.Millisecond {
 		t.Errorf("max = %v", s.LatencyMax)
 	}
+	if s.LatencyHist == nil || s.LatencyHist.Count() != 10 {
+		t.Fatalf("snapshot histogram missing or wrong count: %+v", s.LatencyHist)
+	}
+	if s.ServiceTime != time.Millisecond {
+		t.Errorf("service time EWMA = %v, want 1ms (10ms busy over 10 images)", s.ServiceTime)
+	}
+	if s.Shards != 1 {
+		t.Errorf("scheduler snapshot covers %d shards, want 1", s.Shards)
+	}
 }
 
-// TestMergeStats pins the fleet-aggregation rules: counters sum, the batch
-// histogram is an element-wise sum over the longest length, MeanBatch is
-// recomputed from merged totals, quantiles are count-weighted, Uptime and
-// LatencyMax take the max.
+// TestMergeStats pins the fleet-aggregation rules on histogram-less inputs
+// (the legacy fallback): counters sum, the batch histogram is an
+// element-wise sum over the longest length, MeanBatch is recomputed from
+// merged totals, quantiles fall back to count-weighted means, Uptime and
+// LatencyMax take the max. TestMergeStatsHistogramExact covers the exact
+// path.
 func TestMergeStats(t *testing.T) {
 	a := Stats{
 		Submitted: 100, Rejected: 5, Expired: 2, ExpiredDispatched: 1,
@@ -140,6 +156,9 @@ func TestMergeStats(t *testing.T) {
 	}
 	if m.BackendBusy != 3*time.Second {
 		t.Errorf("busy %v", m.BackendBusy)
+	}
+	if m.Shards != 2 {
+		t.Errorf("merged shard count %d, want 2 (fleet size, not live-shard count)", m.Shards)
 	}
 
 	if z := Merge(); z.Submitted != 0 || z.BatchHist != nil {

@@ -3,19 +3,43 @@
 // its own model replica and serve.Scheduler, behind the same HTTP API a
 // single daemon exposes.
 //
-// Placement is power-of-two-choices on live shard load (router-tracked
-// in-flight requests plus the queue depth each shard last reported on
-// /healthz), falling back to round-robin when the loads tie or only one
-// shard is routable. Every shard is health-checked on an interval; a shard
-// that fails BreakerThreshold consecutive probes or proxied requests is
-// circuit-broken — taken out of placement — and re-admitted as soon as a
-// probe succeeds again. A request that hits a dead or overloaded shard
-// (connection error or 503) fails over to one other shard before the error
-// reaches the client, so losing one worker of N is invisible to clients.
+// # Placement
 //
-// GET /stats serves the fleet view: every reachable shard's serve.Stats
-// merged with serve.Merge plus per-shard detail, so the aggregate counters
-// equal the sum of the per-shard counters.
+// Placement is weighted power-of-two-choices: two distinct routable shards
+// are sampled and the one with the lower load-per-capacity score wins. A
+// shard's load is what the router has in flight to it plus the queue depth
+// it last reported on /healthz; capacity is a static per-shard weight
+// (Config.Weights) optionally scaled by the rolling per-image service time
+// each worker exports (Config.AdaptiveWeights), so on heterogeneous
+// hardware the router equalises expected completion time rather than raw
+// queue depth. Equal scores fall back to the round-robin cursor.
+//
+// # Failure handling
+//
+// Every shard is health-checked on an interval; a shard that fails
+// BreakerThreshold consecutive probes or proxied requests is circuit-broken
+// — taken out of placement — and re-admitted as soon as a probe succeeds
+// again. A request that hits a dead or overloaded shard (connection error
+// or 503) fails over to one other shard before the error reaches the
+// client, so losing one worker of N is invisible to clients.
+//
+// Spawned workers are additionally supervised: when one exits, the router
+// respawns it with exponential backoff (RestartBackoff, doubling, capped at
+// RestartBackoffMax), re-learns its kernel-assigned port from the stdout
+// report, and lets the next successful health probe re-admit it through the
+// breaker. RestartMax consecutive failed or short-lived restarts mark the
+// shard permanently down: it leaves placement for good but stays in /stats
+// so dashboards see fleet size. Attached (remote) workers have no process
+// to watch; Config.OnShardDown fires after an outage outlasts DownAfter and
+// ReplaceShard swaps in a replacement URL.
+//
+// # Stats
+//
+// GET /stats serves the fleet view: every shard's serve.Stats merged with
+// serve.Merge plus per-shard detail. Shards that report nothing merge as
+// zero-valued stats with empty histograms, so the aggregate's shard count
+// is the fleet size, and fleet latency quantiles come from summed
+// log-bucketed histograms — exact-to-bucket, not count-weighted means.
 package shard
 
 import (
@@ -48,10 +72,42 @@ type Config struct {
 	// comfortably above a worker's own per-request deadline, so the worker's
 	// 504 wins over the router's.
 	RequestTimeout time.Duration
+	// Weights are static per-shard capacity weights for placement: a shard
+	// with weight 2 is expected to absorb twice the load of a weight-1
+	// shard. Nil means all 1; otherwise the length must equal the shard
+	// count and every weight must be > 0.
+	Weights []float64
+	// AdaptiveWeights scales placement by each worker's rolling per-image
+	// service-time estimate (the service_ns it reports on /healthz), so a
+	// shard on slower hardware is offered proportionally less work even
+	// with equal static weights. Shards that have not reported an estimate
+	// yet are compared on load/weight alone.
+	AdaptiveWeights bool
+	// RestartMax bounds consecutive restart attempts for a spawned worker
+	// before its shard is marked permanently down. A run longer than
+	// 10×RestartBackoff resets the budget. 0 selects the default (5);
+	// negative disables respawn entirely, so "mark down on first death" is
+	// not expressible — use RestartMax: 1 for the closest behaviour.
+	RestartMax int
+	// RestartBackoff is the delay before the first respawn attempt; it
+	// doubles per consecutive attempt up to RestartBackoffMax.
+	// Default 250ms.
+	RestartBackoff time.Duration
+	// RestartBackoffMax caps the exponential respawn backoff. Default 5s.
+	RestartBackoffMax time.Duration
+	// DownAfter is how long an attached shard's breaker must stay open
+	// before OnShardDown fires (once per outage). 0 disables the callback.
+	// Spawned shards are respawned instead and never trigger it.
+	DownAfter time.Duration
+	// OnShardDown is the replacement hook for attached workers: called (in
+	// its own goroutine) when an attached shard has been unreachable for
+	// DownAfter, so an operator or control plane can provision a
+	// replacement and install it with ReplaceShard.
+	OnShardDown func(id int, url string)
 	// Client overrides the HTTP client used for proxying and probing.
 	Client *http.Client
 	// Logf sinks router events (breaker transitions, failovers, worker
-	// exits). Default log.Printf; set to a no-op in tests.
+	// exits, respawns). Default log.Printf; set to a no-op in tests.
 	Logf func(format string, args ...any)
 	// Seed feeds the power-of-two-choices randomness. Default 1.
 	Seed int64
@@ -72,6 +128,15 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
+	if c.RestartMax == 0 {
+		c.RestartMax = 5
+	}
+	if c.RestartBackoff == 0 {
+		c.RestartBackoff = 250 * time.Millisecond
+	}
+	if c.RestartBackoffMax == 0 {
+		c.RestartBackoffMax = 5 * time.Second
+	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
@@ -81,31 +146,96 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// validateWeights checks a Config.Weights slice against the shard count.
+func validateWeights(weights []float64, n int) error {
+	if weights == nil {
+		return nil
+	}
+	if len(weights) != n {
+		return fmt.Errorf("shard: %d weights for %d shards", len(weights), n)
+	}
+	for i, w := range weights {
+		if w <= 0 {
+			return fmt.Errorf("shard: weight %d is %v, must be > 0", i, w)
+		}
+	}
+	return nil
+}
+
 // shardState is one worker replica as the router sees it.
 type shardState struct {
-	id  int
-	url string // base URL, no trailing slash
+	id     int
+	weight float64 // static capacity weight, immutable after construction
 
-	proc *workerProc // non-nil only for spawned workers
+	inflight atomic.Int64  // router-side requests currently proxied to this shard
+	depth    atomic.Int64  // queue depth last reported by /healthz
+	service  atomic.Int64  // per-image service time (ns) last reported by /healthz
+	restarts atomic.Uint64 // successful supervisor respawns
 
-	inflight atomic.Int64 // router-side requests currently proxied to this shard
-	depth    atomic.Int64 // queue depth last reported by /healthz
-
-	mu          sync.Mutex
-	open        bool // circuit open: excluded from placement
-	consecFails int
-	opens       uint64 // breaker open transitions
-	closes      uint64 // breaker close (re-admission) transitions
+	mu           sync.Mutex
+	url          string      // base URL, no trailing slash; rewritten on respawn
+	proc         *workerProc // non-nil only for spawned workers; rewritten on respawn
+	open         bool        // circuit open: excluded from placement
+	down         bool        // permanently down: restart budget exhausted
+	consecFails  int
+	opens        uint64    // breaker open transitions
+	closes       uint64    // breaker close (re-admission) transitions
+	openSince    time.Time // when the current outage opened the breaker
+	downNotified bool      // OnShardDown already fired for this outage
 }
 
 // load is the placement signal: what the router has in flight to the shard
 // plus the scheduler backlog the shard last admitted to.
 func (s *shardState) load() int64 { return s.inflight.Load() + s.depth.Load() }
 
+func (s *shardState) base() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.url
+}
+
+func (s *shardState) currentProc() *workerProc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.proc
+}
+
+// adopt installs a freshly respawned worker process and its new base URL.
+// Breaker state is left alone: the next successful health probe re-admits
+// the shard, so traffic only returns once the new process answers.
+func (s *shardState) adopt(p *workerProc, url string) {
+	s.mu.Lock()
+	s.proc = p
+	s.url = url
+	s.mu.Unlock()
+	s.depth.Store(0)
+	s.service.Store(0)
+}
+
 func (s *shardState) isOpen() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.open
+}
+
+func (s *shardState) isDown() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.down
+}
+
+func (s *shardState) markDown() {
+	s.mu.Lock()
+	s.down = true
+	s.mu.Unlock()
+}
+
+// healthy is the /healthz and /stats notion of routable: breaker closed and
+// not permanently down.
+func (s *shardState) healthy() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.open && !s.down
 }
 
 // recordFailure counts one probe/request failure toward the breaker and
@@ -117,6 +247,7 @@ func (s *shardState) recordFailure(threshold int) bool {
 	if !s.open && s.consecFails >= threshold {
 		s.open = true
 		s.opens++
+		s.openSince = time.Now()
 		return true
 	}
 	return false
@@ -128,12 +259,28 @@ func (s *shardState) recordSuccess() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.consecFails = 0
+	s.downNotified = false
 	if s.open {
 		s.open = false
 		s.closes++
 		return true
 	}
 	return false
+}
+
+// shouldNotifyDown reports (once per outage) that an attached shard's
+// breaker has been open longer than after.
+func (s *shardState) shouldNotifyDown(after time.Duration) bool {
+	if after <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.proc != nil || !s.open || s.downNotified || time.Since(s.openSince) < after {
+		return false
+	}
+	s.downNotified = true
+	return true
 }
 
 func (s *shardState) breakerCounts() (opens, closes uint64) {
@@ -150,6 +297,12 @@ type Router struct {
 	client *http.Client
 	shards []*shardState
 
+	// bin/binArgs reproduce a spawned worker; set only by Spawn, read only
+	// by the supervisor goroutines.
+	bin     string
+	binArgs []string
+	superWG sync.WaitGroup
+
 	rr    atomic.Uint64 // round-robin cursor
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -159,7 +312,7 @@ type Router struct {
 	errored   atomic.Uint64 // requests that surfaced a transport error
 
 	stopOnce sync.Once
-	stop     chan struct{} // closes to stop the health loop
+	stop     chan struct{} // closes to stop the health loop and supervisors
 	probed   chan struct{} // closed after the first full probe round
 	done     chan struct{} // health loop exited
 }
@@ -169,6 +322,9 @@ type Router struct {
 func New(urls []string, cfg Config) (*Router, error) {
 	if len(urls) == 0 {
 		return nil, fmt.Errorf("shard: router needs at least one worker URL")
+	}
+	if err := validateWeights(cfg.Weights, len(urls)); err != nil {
+		return nil, err
 	}
 	shards := make([]*shardState, len(urls))
 	for i, u := range urls {
@@ -186,6 +342,12 @@ func newRouter(shards []*shardState, cfg Config) *Router {
 	client := cfg.Client
 	if client == nil {
 		client = &http.Client{Timeout: cfg.RequestTimeout}
+	}
+	for i, s := range shards {
+		s.weight = 1
+		if cfg.Weights != nil {
+			s.weight = cfg.Weights[i]
+		}
 	}
 	r := &Router{
 		cfg:    cfg,
@@ -221,6 +383,39 @@ func normalizeURL(u string) (string, error) {
 // Shards returns the number of worker shards (healthy or not).
 func (r *Router) Shards() int { return len(r.shards) }
 
+// ReplaceShard points shard id at a replacement worker URL — the manual
+// counterpart of the automatic respawn, for attached (remote) workers whose
+// replacement the router cannot provision itself. The shard's
+// permanently-down flag and failure streak are cleared; re-admission still
+// goes through the circuit breaker, so traffic returns only after the
+// replacement answers a probe. Spawned shards are supervised and refuse
+// replacement.
+func (r *Router) ReplaceShard(id int, newURL string) error {
+	if id < 0 || id >= len(r.shards) {
+		return fmt.Errorf("shard: no shard %d", id)
+	}
+	nu, err := normalizeURL(newURL)
+	if err != nil {
+		return fmt.Errorf("shard: replacement for shard %d: %w", id, err)
+	}
+	s := r.shards[id]
+	s.mu.Lock()
+	if s.proc != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("shard: shard %d is a spawned worker; the supervisor owns its lifecycle", id)
+	}
+	old := s.url
+	s.url = nu
+	s.down = false
+	s.consecFails = 0
+	s.downNotified = false
+	s.mu.Unlock()
+	s.depth.Store(0)
+	s.service.Store(0)
+	r.cfg.Logf("shard: shard %d replaced: %s -> %s", id, old, nu)
+	return nil
+}
+
 // WaitReady blocks until the first full health-probe round has completed
 // (whatever its outcomes — an unreachable fleet still "readies" so the
 // caller can start serving 502s rather than hang), or until ctx expires.
@@ -235,28 +430,47 @@ func (r *Router) WaitReady(ctx context.Context) error {
 	}
 }
 
+// score is the weighted-placement signal: expected cost of adding one more
+// request to the shard. Lower wins. withService folds in the measured
+// per-image service time — only meaningful when both compared shards have
+// an estimate, which pick decides.
+func (s *shardState) score(withService bool) float64 {
+	sc := float64(s.load()+1) / s.weight
+	if withService {
+		sc *= float64(s.service.Load())
+	}
+	return sc
+}
+
 // pick chooses a target shard, excluding `not` (the shard a failed first
-// attempt used). Power-of-two-choices on load between two distinct random
-// routable shards; equal loads fall back to the round-robin cursor. With
-// every breaker open the router still picks (round-robin over what is
-// left): a guess at a possibly-recovered shard beats a guaranteed error.
+// attempt used). Weighted power-of-two-choices between two distinct random
+// routable shards; equal scores fall back to the round-robin cursor. With
+// every breaker open the router still picks among non-permanently-down
+// shards (round-robin over what is left): a guess at a possibly-recovered
+// shard beats a guaranteed error. Returns nil only when every shard is
+// permanently down.
 func (r *Router) pick(not *shardState) *shardState {
 	routable := make([]*shardState, 0, len(r.shards))
 	for _, s := range r.shards {
-		if s != not && !s.isOpen() {
+		if s != not && s.healthy() {
 			routable = append(routable, s)
 		}
 	}
 	if len(routable) == 0 {
 		for _, s := range r.shards {
-			if s != not {
+			if s != not && !s.isDown() {
 				routable = append(routable, s)
 			}
 		}
 	}
 	switch len(routable) {
 	case 0:
-		return not // sole shard: retrying it is the only option
+		// Sole remaining option is `not`: retrying it beats a guaranteed
+		// error, unless it is permanently down.
+		if not != nil && !not.isDown() {
+			return not
+		}
+		return nil
 	case 1:
 		return routable[0]
 	}
@@ -268,11 +482,15 @@ func (r *Router) pick(not *shardState) *shardState {
 		j++
 	}
 	a, b := routable[i], routable[j]
-	la, lb := a.load(), b.load()
+	// The service-time term only enters when both candidates have reported
+	// an estimate; comparing a measured shard against an unmeasured one
+	// would mix units.
+	withService := r.cfg.AdaptiveWeights && a.service.Load() > 0 && b.service.Load() > 0
+	sa, sb := a.score(withService), b.score(withService)
 	switch {
-	case la < lb:
+	case sa < sb:
 		return a
-	case lb < la:
+	case sb < sa:
 		return b
 	default:
 		return routable[r.rr.Add(1)%uint64(len(routable))]
@@ -305,6 +523,13 @@ func (r *Router) handleClassify(w http.ResponseWriter, req *http.Request) {
 	}
 	r.proxied.Add(1)
 	first := r.pick(nil)
+	if first == nil {
+		r.errored.Add(1)
+		writeJSON(w, http.StatusBadGateway, map[string]string{
+			"error": "no shards available: every worker is permanently down",
+		})
+		return
+	}
 	status, hdr, respBody, err := r.forward(req.Context(), first, body)
 	if err == nil && status != http.StatusServiceUnavailable {
 		copyResponse(w, status, hdr, respBody)
@@ -313,7 +538,7 @@ func (r *Router) handleClassify(w http.ResponseWriter, req *http.Request) {
 	// First attempt lost to a dead or shedding shard: one failover — unless
 	// the client itself aborted, in which case nobody is waiting for it.
 	if req.Context().Err() == nil {
-		if second := r.pick(first); second != first {
+		if second := r.pick(first); second != nil && second != first {
 			s2, h2, b2, err2 := r.forward(req.Context(), second, body)
 			if err2 == nil {
 				if s2 < 500 {
@@ -355,7 +580,7 @@ func (r *Router) forward(parent context.Context, s *shardState, body []byte) (in
 	defer s.inflight.Add(-1)
 	ctx, cancel := context.WithTimeout(parent, r.cfg.RequestTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.url+"/classify", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.base()+"/classify", bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, nil, err
 	}
@@ -364,7 +589,7 @@ func (r *Router) forward(parent context.Context, s *shardState, body []byte) (in
 	if err != nil {
 		if parent.Err() == nil {
 			if opened := s.recordFailure(r.cfg.BreakerThreshold); opened {
-				r.cfg.Logf("shard: circuit OPEN on shard %d (%s): %v", s.id, s.url, err)
+				r.cfg.Logf("shard: circuit OPEN on shard %d (%s): %v", s.id, s.base(), err)
 			}
 		}
 		return 0, nil, nil, err
@@ -374,13 +599,13 @@ func (r *Router) forward(parent context.Context, s *shardState, body []byte) (in
 	if err != nil {
 		if parent.Err() == nil {
 			if opened := s.recordFailure(r.cfg.BreakerThreshold); opened {
-				r.cfg.Logf("shard: circuit OPEN on shard %d (%s): %v", s.id, s.url, err)
+				r.cfg.Logf("shard: circuit OPEN on shard %d (%s): %v", s.id, s.base(), err)
 			}
 		}
 		return 0, nil, nil, err
 	}
 	if readmitted := s.recordSuccess(); readmitted {
-		r.cfg.Logf("shard: circuit CLOSED on shard %d (%s): request succeeded", s.id, s.url)
+		r.cfg.Logf("shard: circuit CLOSED on shard %d (%s): request succeeded", s.id, s.base())
 	}
 	return resp.StatusCode, resp.Header, respBody, nil
 }
@@ -404,6 +629,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // healthLoop probes every shard's /healthz each interval (in parallel, so a
 // hung shard cannot delay the others), updating the load signal and the
 // breaker: probe failures open it, one probe success re-admits the shard.
+// Permanently-down shards are skipped — there is nothing left to probe.
 func (r *Router) healthLoop() {
 	defer close(r.done)
 	ticker := time.NewTicker(r.cfg.HealthInterval)
@@ -412,6 +638,9 @@ func (r *Router) healthLoop() {
 	for {
 		var wg sync.WaitGroup
 		for _, s := range r.shards {
+			if s.isDown() {
+				continue
+			}
 			wg.Add(1)
 			go func(s *shardState) {
 				defer wg.Done()
@@ -441,7 +670,7 @@ func (r *Router) probe(s *shardState) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.url+"/healthz", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base()+"/healthz", nil)
 	if err != nil {
 		return
 	}
@@ -449,39 +678,59 @@ func (r *Router) probe(s *shardState) {
 	if err == nil {
 		var health struct {
 			QueueDepth int64 `json:"queue_depth"`
+			ServiceNS  int64 `json:"service_ns"`
 		}
 		decodeErr := json.NewDecoder(resp.Body).Decode(&health)
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		if decodeErr == nil && resp.StatusCode == http.StatusOK {
 			s.depth.Store(health.QueueDepth)
+			if health.ServiceNS > 0 {
+				s.service.Store(health.ServiceNS)
+			}
 			if readmitted := s.recordSuccess(); readmitted {
-				r.cfg.Logf("shard: circuit CLOSED on shard %d (%s): probe succeeded", s.id, s.url)
+				r.cfg.Logf("shard: circuit CLOSED on shard %d (%s): probe succeeded", s.id, s.base())
 			}
 			return
 		}
 		err = fmt.Errorf("healthz status %d (decode: %v)", resp.StatusCode, decodeErr)
 	}
 	if opened := s.recordFailure(r.cfg.BreakerThreshold); opened {
-		r.cfg.Logf("shard: circuit OPEN on shard %d (%s): %v", s.id, s.url, err)
+		r.cfg.Logf("shard: circuit OPEN on shard %d (%s): %v", s.id, s.base(), err)
+	}
+	if r.cfg.OnShardDown != nil && s.shouldNotifyDown(r.cfg.DownAfter) {
+		r.cfg.Logf("shard: attached shard %d (%s) unreachable for %v — invoking OnShardDown",
+			s.id, s.base(), r.cfg.DownAfter)
+		go r.cfg.OnShardDown(s.id, s.base())
 	}
 }
 
 // ShardStatus is one shard's entry in the /stats report.
 type ShardStatus struct {
-	ID            int          `json:"id"`
-	URL           string       `json:"url"`
-	Healthy       bool         `json:"healthy"` // breaker closed
-	Inflight      int64        `json:"inflight"`
-	QueueDepth    int64        `json:"queue_depth"` // last /healthz report
-	BreakerOpens  uint64       `json:"breaker_opens"`
-	BreakerCloses uint64       `json:"breaker_closes"`
-	Stats         *serve.Stats `json:"stats,omitempty"`
-	Error         string       `json:"error,omitempty"` // why Stats is missing
+	ID      int     `json:"id"`
+	URL     string  `json:"url"`
+	Healthy bool    `json:"healthy"` // breaker closed and not permanently down
+	Weight  float64 `json:"weight"`
+	// ServiceTime is the per-image service time the shard last reported,
+	// the adaptive-placement signal.
+	ServiceTime   time.Duration `json:"service_ns"`
+	Inflight      int64         `json:"inflight"`
+	QueueDepth    int64         `json:"queue_depth"` // last /healthz report
+	BreakerOpens  uint64        `json:"breaker_opens"`
+	BreakerCloses uint64        `json:"breaker_closes"`
+	// Restarts counts supervisor respawns of this shard's worker process.
+	Restarts uint64 `json:"restarts"`
+	// PermanentlyDown marks a spawned shard whose restart budget is
+	// exhausted: it no longer receives traffic or probes.
+	PermanentlyDown bool         `json:"permanently_down,omitempty"`
+	Stats           *serve.Stats `json:"stats,omitempty"`
+	Error           string       `json:"error,omitempty"` // why Stats is missing
 }
 
 // StatsReport is the router's GET /stats body: the serve.Merge aggregate of
-// every reachable shard plus per-shard detail and router-level counters.
+// every shard plus per-shard detail and router-level counters. Shards that
+// report no stats (dead, unreachable) merge as zero-valued stats, so
+// Aggregate.Shards is the fleet size.
 type StatsReport struct {
 	Aggregate serve.Stats   `json:"aggregate"`
 	Shards    []ShardStatus `json:"shards"`
@@ -499,8 +748,12 @@ func (r *Router) Report(ctx context.Context) StatsReport {
 		go func(i int, s *shardState) {
 			defer wg.Done()
 			st := ShardStatus{
-				ID: s.id, URL: s.url, Healthy: !s.isOpen(),
-				Inflight: s.inflight.Load(), QueueDepth: s.depth.Load(),
+				ID: s.id, URL: s.base(), Healthy: s.healthy(),
+				Weight:      s.weight,
+				ServiceTime: time.Duration(s.service.Load()),
+				Inflight:    s.inflight.Load(), QueueDepth: s.depth.Load(),
+				Restarts:        s.restarts.Load(),
+				PermanentlyDown: s.isDown(),
 			}
 			st.BreakerOpens, st.BreakerCloses = s.breakerCounts()
 			stats, err := r.fetchStats(ctx, s)
@@ -513,10 +766,15 @@ func (r *Router) Report(ctx context.Context) StatsReport {
 		}(i, s)
 	}
 	wg.Wait()
-	var per []serve.Stats
-	for _, st := range statuses {
+	// Every shard enters the merge: one that reported nothing contributes
+	// zero-valued stats with an empty histogram, so the aggregate's shard
+	// count is the fleet size, not the live-shard count.
+	per := make([]serve.Stats, len(statuses))
+	for i, st := range statuses {
 		if st.Stats != nil {
-			per = append(per, *st.Stats)
+			per[i] = *st.Stats
+		} else {
+			per[i] = serve.Stats{LatencyHist: serve.NewHistogram()}
 		}
 	}
 	return StatsReport{
@@ -529,9 +787,12 @@ func (r *Router) Report(ctx context.Context) StatsReport {
 }
 
 func (r *Router) fetchStats(ctx context.Context, s *shardState) (*serve.Stats, error) {
+	if s.isDown() {
+		return nil, fmt.Errorf("shard permanently down")
+	}
 	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.url+"/stats", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base()+"/stats", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -555,15 +816,18 @@ func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 }
 
 func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
-	healthy := 0
+	healthy, down := 0, 0
 	for _, s := range r.shards {
-		if !s.isOpen() {
+		if s.healthy() {
 			healthy++
+		}
+		if s.isDown() {
+			down++
 		}
 	}
 	status := http.StatusOK
 	body := map[string]any{
-		"status": "ok", "shards": len(r.shards), "healthy": healthy,
+		"status": "ok", "shards": len(r.shards), "healthy": healthy, "down": down,
 	}
 	if healthy == 0 {
 		status = http.StatusServiceUnavailable
@@ -572,10 +836,10 @@ func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, status, body)
 }
 
-// Shutdown stops the health loop and drains the fleet: spawned workers get
-// SIGTERM (each drains its own scheduler before exiting) and are awaited
-// until ctx expires, then killed. Attached workers are left running — the
-// router does not own them. Idempotent.
+// Shutdown stops the health loop and supervisors, then drains the fleet:
+// spawned workers get SIGTERM (each drains its own scheduler before
+// exiting) and are awaited until ctx expires, then killed. Attached workers
+// are left running — the router does not own them. Idempotent.
 func (r *Router) Shutdown(ctx context.Context) error {
 	r.stopOnce.Do(func() { close(r.stop) })
 	select {
@@ -583,12 +847,17 @@ func (r *Router) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		return fmt.Errorf("shard: shutdown: %w", ctx.Err())
 	}
+	// Supervisors must be parked before the drain SIGTERMs workers, or an
+	// exiting worker would race its own respawn. The wait is bounded: a
+	// supervisor mid-spawn finishes within spawnReportTimeout.
+	r.superWG.Wait()
 	var errs []error
 	for _, s := range r.shards {
-		if s.proc == nil {
+		proc := s.currentProc()
+		if proc == nil {
 			continue
 		}
-		if err := s.proc.drain(ctx, r.cfg.Logf); err != nil {
+		if err := proc.drain(ctx, r.cfg.Logf); err != nil {
 			errs = append(errs, fmt.Errorf("shard %d: %w", s.id, err))
 		}
 	}

@@ -26,6 +26,7 @@ type testWorker struct {
 	addr  string
 	depth atomic.Int64 // queue depth reported by /healthz
 	delay atomic.Int64 // per-classify latency, ns
+	svc   atomic.Int64 // service_ns reported by /healthz (adaptive placement)
 
 	mu  sync.Mutex
 	srv *http.Server
@@ -59,16 +60,23 @@ func (w *testWorker) serveOn(ln net.Listener) {
 	})
 	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
 		rw.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(rw, `{"status":"ok","queue_depth":%d}`, w.depth.Load())
+		fmt.Fprintf(rw, `{"status":"ok","queue_depth":%d,"service_ns":%d}`,
+			w.depth.Load(), w.svc.Load())
 	})
 	mux.HandleFunc("/stats", func(rw http.ResponseWriter, r *http.Request) {
 		n := w.classified.Load()
+		hist := serve.NewHistogram()
+		for i := uint64(0); i < n; i++ {
+			hist.Observe(time.Millisecond)
+		}
 		st := serve.Stats{
+			Shards:    1,
 			Submitted: n, Completed: n, Batches: n,
 			BatchHist:    []uint64{n},
-			LatencyCount: int(n), LatencyP50: time.Millisecond,
-			LatencyP99: 2 * time.Millisecond, LatencyMax: 3 * time.Millisecond,
-			Uptime: time.Second,
+			LatencyCount: int(n), LatencyP50: hist.Quantile(0.50),
+			LatencyP99: hist.Quantile(0.99), LatencyMax: hist.Max(),
+			LatencyHist: hist,
+			Uptime:      time.Second,
 		}
 		rw.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(rw).Encode(st)
@@ -137,6 +145,35 @@ func newTestRouter(t *testing.T, cfg Config, workers ...*testWorker) (*Router, *
 		t.Fatal(err)
 	}
 	return r, front
+}
+
+// newSpawnedFront mounts an already-Spawned router on a test front-end and
+// registers shutdown cleanup, returning the front's base URL.
+func newSpawnedFront(t *testing.T, router *Router) string {
+	t.Helper()
+	front := httptest.NewServer(router.Mux())
+	t.Cleanup(func() {
+		front.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := router.Shutdown(ctx); err != nil {
+			t.Errorf("router shutdown: %v", err)
+		}
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := router.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return front.URL
+}
+
+func decodeJSONBody(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func classifyOK(client *http.Client, url string) error {
@@ -252,6 +289,14 @@ func TestRouterFailover(t *testing.T) {
 	if rep.Aggregate.Completed != sumCompleted || rep.Aggregate.Submitted != sumSubmitted {
 		t.Fatalf("aggregate (%d submitted, %d completed) != shard sums (%d, %d)",
 			rep.Aggregate.Submitted, rep.Aggregate.Completed, sumSubmitted, sumCompleted)
+	}
+	// The fleet quantiles come from merged histograms (exact path), and the
+	// aggregate counts the whole fleet.
+	if rep.Aggregate.LatencyHist == nil || rep.Aggregate.LatencyHist.Count() != sumCompleted {
+		t.Fatalf("aggregate latency histogram missing or short: %+v", rep.Aggregate.LatencyHist)
+	}
+	if rep.Aggregate.Shards != 2 {
+		t.Fatalf("aggregate shard count %d, want 2", rep.Aggregate.Shards)
 	}
 	const totalRequests = goroutines*perG + 10
 	if got := a.classified.Load() + b.classified.Load(); got < totalRequests {
@@ -383,6 +428,117 @@ func TestRouterAllShardsDown(t *testing.T) {
 	})
 }
 
+// TestRouterWeightedPlacement: with static capacity weights 1 vs 3 and no
+// other load signal, sequential requests must all land on the heavier
+// shard — (load+1)/weight is strictly lower there whenever both are idle.
+func TestRouterWeightedPlacement(t *testing.T) {
+	a := startTestWorker(t)
+	b := startTestWorker(t)
+	cfg := testConfig(t)
+	cfg.Weights = []float64{1, 3}
+	_, front := newTestRouter(t, cfg, a, b)
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	const n = 30
+	for i := 0; i < n; i++ {
+		if err := classifyOK(client, front.URL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.classified.Load(); got != n {
+		t.Fatalf("weight-3 shard served %d of %d", got, n)
+	}
+	if got := a.classified.Load(); got != 0 {
+		t.Fatalf("weight-1 shard served %d, want 0 while the heavy shard is idle", got)
+	}
+}
+
+// TestRouterAdaptivePlacement: with AdaptiveWeights on, a shard reporting
+// 4× the per-image service time must lose every idle-fleet pick to the
+// faster shard — the router equalises expected completion time, not queue
+// depth. A shard without an estimate is compared on load alone, so a
+// half-measured fleet keeps the old behaviour (pinned by the tie test).
+func TestRouterAdaptivePlacement(t *testing.T) {
+	slow := startTestWorker(t)
+	fast := startTestWorker(t)
+	slow.svc.Store(int64(4 * time.Millisecond))
+	fast.svc.Store(int64(time.Millisecond))
+	cfg := testConfig(t)
+	cfg.AdaptiveWeights = true
+	_, front := newTestRouter(t, cfg, slow, fast)
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	const n = 30
+	for i := 0; i < n; i++ {
+		if err := classifyOK(client, front.URL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fast.classified.Load(); got != n {
+		t.Fatalf("fast shard served %d of %d", got, n)
+	}
+	if got := slow.classified.Load(); got != 0 {
+		t.Fatalf("slow shard served %d, want 0 while the fast shard is idle", got)
+	}
+}
+
+// TestRouterReplaceShard is the attached-worker half of self-healing: the
+// router cannot respawn a remote process, so after DownAfter it fires
+// OnShardDown, and ReplaceShard installs the replacement URL — which still
+// rejoins through the circuit breaker.
+func TestRouterReplaceShard(t *testing.T) {
+	a := startTestWorker(t)
+	b := startTestWorker(t)
+	replacement := startTestWorker(t)
+	notified := make(chan int, 1)
+	cfg := testConfig(t)
+	cfg.DownAfter = 50 * time.Millisecond
+	cfg.OnShardDown = func(id int, url string) {
+		select {
+		case notified <- id:
+		default:
+		}
+	}
+	router, front := newTestRouter(t, cfg, a, b)
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	a.Stop()
+	waitFor(t, "OnShardDown for shard 0", func() bool {
+		select {
+		case id := <-notified:
+			return id == 0
+		default:
+			return false
+		}
+	})
+	// Traffic keeps flowing through the survivor meanwhile.
+	if err := classifyOK(client, front.URL); err != nil {
+		t.Fatal(err)
+	}
+	if err := router.ReplaceShard(0, replacement.addr); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "replacement re-admitted", func() bool {
+		rep := routerReport(t, front.URL)
+		return rep.Shards[0].Healthy && rep.Shards[0].URL == "http://"+replacement.addr
+	})
+	// Replacement shard serves: push traffic until it has handled some.
+	waitFor(t, "replacement serving", func() bool {
+		if err := classifyOK(client, front.URL); err != nil {
+			t.Fatal(err)
+		}
+		return replacement.classified.Load() > 0
+	})
+
+	// Guard rails: bad ids and URLs are refused.
+	if err := router.ReplaceShard(7, replacement.addr); err == nil {
+		t.Error("out-of-range shard id accepted")
+	}
+	if err := router.ReplaceShard(0, ""); err == nil {
+		t.Error("empty replacement URL accepted")
+	}
+}
+
 // TestRouterValidation covers constructor argument checks.
 func TestRouterValidation(t *testing.T) {
 	if _, err := New(nil, Config{}); err == nil {
@@ -393,6 +549,12 @@ func TestRouterValidation(t *testing.T) {
 	}
 	if _, err := Spawn("/bin/true", 0, nil, Config{}); err == nil {
 		t.Error("zero workers accepted")
+	}
+	if _, err := New([]string{"127.0.0.1:1", "127.0.0.1:2"}, Config{Weights: []float64{1}}); err == nil {
+		t.Error("weight count mismatch accepted")
+	}
+	if _, err := New([]string{"127.0.0.1:1"}, Config{Weights: []float64{-1}}); err == nil {
+		t.Error("non-positive weight accepted")
 	}
 	// Scheme-less URLs are normalised.
 	r, err := New([]string{"127.0.0.1:9/"}, Config{Logf: t.Logf})

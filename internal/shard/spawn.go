@@ -30,10 +30,16 @@ type workerProc struct {
 // kernel-assigned port (`-addr 127.0.0.1:0` plus extraArgs, e.g. "-demo"),
 // learns every bound address from the stdout report line, and returns a
 // Router over the fleet. On any startup failure the already-started workers
-// are killed. Shutdown SIGTERMs the workers and waits for their drain.
+// are killed. Each worker is supervised: if it exits, the router respawns
+// it with exponential backoff until Config.RestartMax consecutive attempts
+// fail (see Router docs). Shutdown parks the supervisors, then SIGTERMs the
+// workers and waits for their drain.
 func Spawn(bin string, n int, extraArgs []string, cfg Config) (*Router, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("shard: need at least 1 worker, got %d", n)
+	}
+	if err := validateWeights(cfg.Weights, n); err != nil {
+		return nil, err
 	}
 	logf := cfg.withDefaults().Logf
 	shards := make([]*shardState, 0, n)
@@ -43,7 +49,7 @@ func Spawn(bin string, n int, extraArgs []string, cfg Config) (*Router, error) {
 		}
 	}
 	for i := 0; i < n; i++ {
-		proc, addr, err := startWorker(bin, extraArgs, i, logf)
+		proc, addr, err := startWorker(bin, extraArgs, i, logf, nil)
 		if err != nil {
 			kill()
 			return nil, fmt.Errorf("shard: worker %d: %w", i, err)
@@ -57,11 +63,17 @@ func Spawn(bin string, n int, extraArgs []string, cfg Config) (*Router, error) {
 		logf("shard: worker %d up at %s (pid %d)", i, u, proc.cmd.Process.Pid)
 		shards = append(shards, &shardState{id: i, url: u, proc: proc})
 	}
-	return newRouter(shards, cfg), nil
+	r := newRouter(shards, cfg)
+	r.bin, r.binArgs = bin, extraArgs
+	r.superviseSpawned()
+	return r, nil
 }
 
-// startWorker launches one process and waits for its address report.
-func startWorker(bin string, extraArgs []string, id int, logf func(string, ...any)) (*workerProc, string, error) {
+// startWorker launches one process and waits for its address report. A
+// close of cancel (nil = never) abandons the wait and kills the fresh
+// process — the supervisor passes the router's stop channel so a shutdown
+// never blocks behind a slow-starting respawn.
+func startWorker(bin string, extraArgs []string, id int, logf func(string, ...any), cancel <-chan struct{}) (*workerProc, string, error) {
 	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
 	cmd := exec.Command(bin, args...)
 	cmd.Stderr = os.Stderr
@@ -105,6 +117,9 @@ func startWorker(bin string, extraArgs []string, id int, logf func(string, ...an
 	case <-p.waited:
 		cmd.Process.Kill()
 		return nil, "", fmt.Errorf("exited before reporting an address: %v", p.waitError())
+	case <-cancel:
+		cmd.Process.Kill()
+		return nil, "", fmt.Errorf("spawn canceled")
 	case <-time.After(spawnReportTimeout):
 		cmd.Process.Kill()
 		return nil, "", fmt.Errorf("no address report within %v", spawnReportTimeout)

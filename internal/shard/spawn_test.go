@@ -9,10 +9,13 @@ import (
 	"time"
 )
 
-// TestSpawnSupervisesRealWorkers is the process-level end of the failover
-// story: the router builds and spawns two real hybridnetd demo workers,
-// learns their kernel-assigned ports from the stdout report, serves through
-// them, survives a SIGKILL of one, and SIGTERM-drains the rest on shutdown.
+// TestSpawnSupervisesRealWorkers is the process-level acceptance drill for
+// the self-healing fleet: the router builds and spawns two real hybridnetd
+// demo workers, learns their kernel-assigned ports from the stdout report,
+// serves through them, and — after one worker is SIGKILLed — recovers to a
+// 2-shard serving fleet without operator action: traffic fails over while
+// the supervisor respawns the worker on a fresh port and the breaker
+// re-admits it. SIGTERM then drains the whole fleet.
 func TestSpawnSupervisesRealWorkers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns real worker processes")
@@ -24,6 +27,7 @@ func TestSpawnSupervisesRealWorkers(t *testing.T) {
 	}
 
 	cfg := testConfig(t)
+	cfg.RestartBackoff = 50 * time.Millisecond
 	router, err := Spawn(bin, 2, []string{"-demo", "-size", "32"}, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -50,8 +54,11 @@ func TestSpawnSupervisesRealWorkers(t *testing.T) {
 		}
 	}
 
-	// SIGKILL one worker — no drain, no warning, like an OOM kill.
-	victim := router.shards[0].proc
+	// SIGKILL one worker — no drain, no warning, like an OOM kill. Traffic
+	// must keep succeeding throughout (failover covers the gap until the
+	// supervisor's respawn rejoins).
+	victim := router.shards[0].currentProc()
+	oldURL := router.shards[0].base()
 	if err := victim.cmd.Process.Kill(); err != nil {
 		t.Fatal(err)
 	}
@@ -61,27 +68,50 @@ func TestSpawnSupervisesRealWorkers(t *testing.T) {
 			t.Fatalf("post-kill request %d: %v", i, err)
 		}
 	}
-	waitFor(t, "breaker open on killed worker", func() bool {
+
+	// Self-healing: the fleet returns to 2 serving shards on its own.
+	waitFor(t, "killed worker respawned and re-admitted", func() bool {
 		rep := router.Report(context.Background())
-		return !rep.Shards[0].Healthy
+		return rep.Shards[0].Restarts >= 1 && rep.Shards[0].Healthy && rep.Shards[1].Healthy
 	})
+	if np := router.shards[0].currentProc(); np == victim {
+		t.Fatal("shard 0 still holds the killed process")
+	}
+	if router.shards[0].base() == oldURL {
+		t.Logf("respawned worker reused %s (kernel handed the port back)", oldURL)
+	}
+	for i := 0; i < 6; i++ {
+		if err := classifyOK(client, front.URL); err != nil {
+			t.Fatalf("post-respawn request %d: %v", i, err)
+		}
+	}
 
-	// The survivor's stats carry the whole fleet's aggregate now.
+	// Both shards carry stats again, the aggregate covers the whole fleet,
+	// and the fleet latency quantiles come from merged histograms.
 	rep := router.Report(context.Background())
-	if rep.Shards[1].Stats == nil {
-		t.Fatalf("surviving shard has no stats: %s", rep.Shards[1].Error)
+	for _, s := range rep.Shards {
+		if s.Stats == nil {
+			t.Fatalf("shard %d has no stats after recovery: %s", s.ID, s.Error)
+		}
 	}
-	if rep.Aggregate.Completed < 6 || rep.Aggregate.Completed != rep.Shards[1].Stats.Completed {
-		t.Fatalf("aggregate completed %d, survivor completed %d",
-			rep.Aggregate.Completed, rep.Shards[1].Stats.Completed)
+	if rep.Aggregate.Shards != 2 {
+		t.Fatalf("aggregate shard count %d, want 2", rep.Aggregate.Shards)
+	}
+	if rep.Aggregate.LatencyHist == nil ||
+		rep.Aggregate.LatencyHist.Count() != rep.Aggregate.Completed {
+		t.Fatalf("aggregate histogram missing or inconsistent: hist=%v completed=%d",
+			rep.Aggregate.LatencyHist, rep.Aggregate.Completed)
 	}
 
-	// Clean SIGTERM drain of the survivor; the dead worker drains trivially.
+	// Clean SIGTERM drain of both (respawned) workers.
 	if err := shutdown(); err != nil {
 		t.Fatalf("fleet shutdown: %v", err)
 	}
-	waitFor(t, "survivor exited", router.shards[1].proc.exited)
-	if err := router.shards[1].proc.waitError(); err != nil {
-		t.Fatalf("survivor exit status: %v", err)
+	for i, s := range router.shards {
+		proc := s.currentProc()
+		waitFor(t, "worker exited", proc.exited)
+		if err := proc.waitError(); err != nil {
+			t.Fatalf("worker %d exit status: %v", i, err)
+		}
 	}
 }
