@@ -210,6 +210,148 @@ func BenchmarkConvForward_Im2col(b *testing.B) {
 	}
 }
 
+// Batch-native forward — ForwardBatch (one GEMM per layer per micro-batch)
+// against the per-sample fan-out (N separate Forward calls through one
+// context), swept over batch size. The batch effect is weight-traffic
+// amortisation: a batched GEMM streams the layer's weights once for all N
+// samples, so layers whose weights dwarf the cache (the deep convolutions,
+// and above all the fully connected layers) speed up with batch size, while
+// conv1 — tiny weights, huge activations — is roughly neutral. Recorded in
+// BENCH_compute.json.
+
+func benchForwardBatchLayer(b *testing.B, layer nn.Layer, c, size int) {
+	rng := rand.New(rand.NewSource(30))
+	for _, batch := range []int{1, 4, 8, 16, 32} {
+		xs := make([]*tensor.Tensor, batch)
+		for i := range xs {
+			x := tensor.MustNew(c, size, size)
+			x.FillUniform(rng, 0, 1)
+			xs[i] = x
+		}
+		packed, err := tensor.Stack(xs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d/mode=batched", batch), func(b *testing.B) {
+			ctx := nn.NewContext()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := layer.ForwardBatch(ctx, packed); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "samples/s")
+		})
+		b.Run(fmt.Sprintf("n=%d/mode=persample", batch), func(b *testing.B) {
+			ctx := nn.NewContext()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, x := range xs {
+					if _, err := layer.Forward(ctx, x); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "samples/s")
+		})
+	}
+}
+
+// AlexNet conv1: 96 11×11×3 filters over 227×227, stride 4 — huge spatial
+// extent, weights fit in L2.
+func BenchmarkForwardBatch_AlexNetConv1(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	conv, err := nn.NewConv2D("conv1", 3, nn.AlexNetConv1Filters, 11, 4, 0, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchForwardBatchLayer(b, conv, 3, nn.AlexNetInputSize)
+}
+
+// AlexNet conv2: 256 5×5×96 filters over 27×27 — 2.4 MB of weights, the
+// heaviest conv layer of the network.
+func BenchmarkForwardBatch_AlexNetConv2(b *testing.B) {
+	rng := rand.New(rand.NewSource(36))
+	conv, err := nn.NewConv2D("conv2", 96, 256, 5, 1, 2, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchForwardBatchLayer(b, conv, 96, 27)
+}
+
+// AlexNet conv3: 384 3×3×256 filters over 13×13 — 3.5 MB of weights against
+// 169 output positions per sample, the weight-bound regime where batching
+// pays.
+func BenchmarkForwardBatch_AlexNetConv3(b *testing.B) {
+	rng := rand.New(rand.NewSource(32))
+	conv, err := nn.NewConv2D("conv3", 256, 384, 3, 1, 1, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchForwardBatchLayer(b, conv, 256, 13)
+}
+
+// AlexNet fc6: 4096×9216 — 151 MB of weights, pure weight streaming; the
+// batched path pays it once per batch instead of once per sample.
+func BenchmarkForwardBatch_AlexNetFC6(b *testing.B) {
+	rng := rand.New(rand.NewSource(33))
+	fc, err := nn.NewDense("fc6", 256*6*6, 4096, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rngIn := rand.New(rand.NewSource(34))
+	for _, batch := range []int{1, 4, 8, 16, 32} {
+		xs := make([]*tensor.Tensor, batch)
+		for i := range xs {
+			x := tensor.MustNew(256 * 6 * 6)
+			x.FillUniform(rngIn, 0, 1)
+			xs[i] = x
+		}
+		packed, err := tensor.Stack(xs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d/mode=batched", batch), func(b *testing.B) {
+			ctx := nn.NewContext()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fc.ForwardBatch(ctx, packed); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "samples/s")
+		})
+		b.Run(fmt.Sprintf("n=%d/mode=persample", batch), func(b *testing.B) {
+			ctx := nn.NewContext()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, x := range xs {
+					if _, err := fc.Forward(ctx, x); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "samples/s")
+		})
+	}
+}
+
+// Whole-network batched forward on the AlexNet-shaped micro net — the
+// end-to-end compute effect MaxBatch now buys the serving tier.
+func BenchmarkForwardBatch_MicroNet(b *testing.B) {
+	rng := rand.New(rand.NewSource(35))
+	net, err := nn.NewMicroAlexNet(nn.MicroConfig{
+		InputSize: 32, Conv1Filters: 16, Conv1Kernel: 5,
+		Conv2Filters: 16, Hidden: 48, Classes: 6, UseLRN: true,
+	}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchForwardBatchLayer(b, net, 3, 32) // Sequential implements Layer
+}
+
 // BatchEngine throughput — shared-weight inference over a worker pool, on
 // an AlexNet-shaped micro network. One benchmark iteration classifies the
 // whole batch; throughput in samples/op scales with workers until the GEMM

@@ -59,6 +59,7 @@ func run(args []string) error {
 	modelPath := fs.String("model", "", "onnxlite model path")
 	demo := fs.Bool("demo", false, "serve an untrained demo network instead of -model")
 	workers := fs.Int("workers", 0, "inference pool size (0 = all cores)")
+	subBatch := fs.Int("subbatch", 0, "images per worker sub-batch in the batched CNN stage (0 = batch/workers)")
 	maxBatch := fs.Int("max-batch", 8, "micro-batch flush threshold")
 	maxDelay := fs.Duration("max-delay", 2*time.Millisecond, "max wait for a batch to fill")
 	queueSize := fs.Int("queue", 64, "admission-control queue bound")
@@ -84,7 +85,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	bc, err := h.NewBatchClassifier(*workers)
+	bc, err := cli.NewBatchClassifier(h, *workers, *subBatch)
 	if err != nil {
 		return err
 	}
@@ -101,8 +102,8 @@ func run(args []string) error {
 		return err
 	}
 	httpSrv := &http.Server{Handler: srv.mux()}
-	log.Printf("hybridnetd listening on %s (workers=%d max-batch=%d max-delay=%v queue=%d)",
-		ln.Addr(), bc.Workers(), *maxBatch, *maxDelay, *queueSize)
+	log.Printf("hybridnetd listening on %s (workers=%d subbatch=%d max-batch=%d max-delay=%v queue=%d)",
+		ln.Addr(), bc.Workers(), bc.SubBatch(), *maxBatch, *maxDelay, *queueSize)
 	// Worker mode: report the bound address on stdout so a supervisor
 	// (hybridnet-router) that started us with -addr 127.0.0.1:0 can learn
 	// the kernel-assigned port. Logs go to stderr, so this is the only

@@ -64,6 +64,15 @@ func LoadHybrid(path string, seed int64) (*core.HybridNetwork, *nn.Sequential, e
 	return h, net, nil
 }
 
+// NewBatchClassifier builds the persistent serving classifier for a hybrid
+// network from CLI-level knobs: workers is the inference pool size (0 = all
+// cores) and subBatch the per-worker NCHW micro-batch cap for the batched
+// CNN stage (0 = batch/workers). Shared by the serving binaries so the
+// -workers/-subbatch flag semantics cannot drift from the engine config.
+func NewBatchClassifier(h *core.HybridNetwork, workers, subBatch int) (*core.BatchClassifier, error) {
+	return h.NewBatchClassifierConfig(core.ClassifierConfig{Workers: workers, SubBatch: subBatch})
+}
+
 // DemoHybrid builds an untrained micro network with the Sobel pair
 // installed and wraps it in the standard hybrid assembly. It exists for
 // smoke tests and demo serving (hybridnetd -demo): the reliable path,

@@ -174,6 +174,99 @@ func TestBatchClassifierReuse(t *testing.T) {
 	}
 }
 
+// TestClassifyBatchSubBatchEquivalence: the batched CNN stage — one NCHW
+// micro-batch per worker sub-batch — must reproduce per-call Classify
+// bit-for-bit in classes, probabilities, decisions, qualifier verdicts and
+// per-inference reliable counters, for every sub-batch size (1 degenerates
+// to per-sample; sizes ragged against the batch exercise the tail chunks).
+// Run with -race this is the golden-equivalence gate of the serving path.
+func TestClassifyBatchSubBatchEquivalence(t *testing.T) {
+	net := trainedMicroNet(t)
+	for _, wiring := range []Wiring{WiringParallel, WiringBifurcated} {
+		cfg := Config{
+			Wiring: wiring, Mode: ModeTemporalDMR,
+			SafetyClasses: defaultSafety(),
+		}
+		imgSize := 32
+		if wiring == WiringParallel {
+			cfg.DownsampleFactor = 3
+			imgSize = 96
+		} else {
+			conv1, err := nn.FirstConv(net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pair, err := InstallSobelPair(conv1, 0, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Pair = pair
+		}
+		h, err := NewHybridNetwork(cfg, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(93))
+		gcfg, err := gtsrb.Config{Size: imgSize}.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		imgs := make([]*tensor.Tensor, 11)
+		want := make([]Result, len(imgs))
+		for i := range imgs {
+			spec := gtsrb.StandardClasses()[i%len(gtsrb.StandardClasses())]
+			img, err := gtsrb.Render(gtsrb.RandomParams(gcfg, spec, rng), rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			imgs[i] = img
+			res, err := h.Classify(img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = res
+		}
+		for _, ccfg := range []ClassifierConfig{
+			{Workers: 1},              // whole batch in one sub-batch
+			{Workers: 3},              // default ceil(11/3)=4 → ragged tail of 3
+			{Workers: 2, SubBatch: 1}, // per-sample degenerate
+			{Workers: 2, SubBatch: 4}, // explicit cap, ragged
+		} {
+			c, err := h.NewBatchClassifierConfig(ccfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ccfg.SubBatch != 0 && c.SubBatch() != ccfg.SubBatch {
+				t.Fatalf("sub-batch = %d, want %d", c.SubBatch(), ccfg.SubBatch)
+			}
+			got, err := c.ClassifyBatch(imgs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i].Class != want[i].Class || got[i].Decision != want[i].Decision ||
+					got[i].Qualifier.Class != want[i].Qualifier.Class ||
+					got[i].Confidence != want[i].Confidence {
+					t.Errorf("wiring=%v cfg=%+v img %d: (%d,%v,%v,%v) != serial (%d,%v,%v,%v)",
+						wiring, ccfg, i,
+						got[i].Class, got[i].Decision, got[i].Qualifier.Class, got[i].Confidence,
+						want[i].Class, want[i].Decision, want[i].Qualifier.Class, want[i].Confidence)
+				}
+				if got[i].Stats != want[i].Stats {
+					t.Errorf("wiring=%v cfg=%+v img %d: stats %+v != serial %+v",
+						wiring, ccfg, i, got[i].Stats, want[i].Stats)
+				}
+				for cls := range got[i].Probs {
+					if got[i].Probs[cls] != want[i].Probs[cls] {
+						t.Errorf("wiring=%v cfg=%+v img %d: probs[%d] %v != %v",
+							wiring, ccfg, i, cls, got[i].Probs[cls], want[i].Probs[cls])
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestClassifyBatchEmpty(t *testing.T) {
 	net := trainedMicroNet(t)
 	h, err := NewHybridNetwork(Config{

@@ -259,14 +259,230 @@ func (h *HybridNetwork) Classify(img *tensor.Tensor) (Result, error) {
 }
 
 func (h *HybridNetwork) classify(ctx *nn.Context, engine *reliable.Engine, img *tensor.Tensor) (Result, error) {
-	switch h.cfg.Wiring {
-	case WiringParallel:
-		return h.classifyParallel(ctx, engine, img)
-	case WiringBifurcated:
-		return h.classifyBifurcated(ctx, engine, img)
-	default:
-		return Result{}, fmt.Errorf("core: unknown wiring %d", int(h.cfg.Wiring))
+	results := make([]Result, 1)
+	if err := h.classifyChunk(ctx, engine, []*tensor.Tensor{img}, results); err != nil {
+		return Result{}, err
 	}
+	return results[0], nil
+}
+
+// classifyChunk classifies a sub-batch of images through one worker's
+// context and reliable engine, writing one Result per image. The pipeline
+// splits into two stages:
+//
+//  1. Per sample: the reliable stage (edge convolution or the DCNN prefix,
+//     whose overloaded MAC protocol is inherently per-image) and the shape
+//     qualifier, with the leaky bucket reset before every image and the
+//     work counters reported as per-image deltas — the per-execution
+//     semantics of Classify.
+//  2. Batched: the non-reliable CNN portion of every image that survived
+//     stage 1 runs as ONE NCHW micro-batch through ForwardBatchFrom — one
+//     blocked GEMM per layer for the whole sub-batch instead of one per
+//     image.
+//
+// A single-image chunk skips the pack and runs the per-sample CNN path;
+// both paths compute identical logits.
+func (h *HybridNetwork) classifyChunk(ctx *nn.Context, engine *reliable.Engine, imgs []*tensor.Tensor, results []Result) error {
+	if h.cfg.Wiring != WiringParallel && h.cfg.Wiring != WiringBifurcated {
+		return fmt.Errorf("core: unknown wiring %d", int(h.cfg.Wiring))
+	}
+	if len(imgs) != len(results) {
+		return fmt.Errorf("core: classify chunk has %d images for %d results", len(imgs), len(results))
+	}
+	// Stage 1: reliable execution + qualifier, per sample.
+	cnnIns := make([]*tensor.Tensor, 0, len(imgs))
+	idxs := make([]int, 0, len(imgs))
+	for i, img := range imgs {
+		engine.Bucket().Reset()
+		before := engine.Stats()
+		cnnIn, err := h.reliableStage(engine, img, &results[i])
+		// The engine accumulates across the chunk; report the per-inference
+		// delta, matching Classify's fresh-engine counters.
+		results[i].Stats.Sub(before)
+		if err != nil {
+			return err
+		}
+		if cnnIn != nil {
+			cnnIns = append(cnnIns, cnnIn)
+			idxs = append(idxs, i)
+		}
+	}
+	// Stage 2: the CNN portion, micro-batched.
+	return h.cnnStage(ctx, cnnIns, idxs, results)
+}
+
+// reliableStage runs everything except the non-reliable CNN for one image:
+// the reliably executed portion (parallel wiring: the Sobel edge stage;
+// bifurcated wiring: the DCNN prefix) and, when execution succeeds, the
+// shape qualifier. It fills res.Stats/Bucket/Qualifier and, on a bucket
+// trip, res.Decision/ExecErr. It returns the tensor the CNN stage should
+// consume: the (possibly downsampled) input image (parallel — returned even
+// after an execution failure, whose Result still reports the CNN's opinion)
+// or the reliably computed feature map (bifurcated; nil after a failure,
+// because the CNN cannot run without it).
+func (h *HybridNetwork) reliableStage(engine *reliable.Engine, img *tensor.Tensor, res *Result) (*tensor.Tensor, error) {
+	if h.cfg.Wiring == WiringParallel {
+		// Deterministic saliency preprocessing: traffic-sign faces are
+		// saturated, so the colourfulness channel separates the sign from
+		// grey background and clutter. It is a bounded per-pixel min/max
+		// with no accumulation — the class of operation the paper's
+		// qualifier is allowed to treat as deterministically verifiable.
+		saliency := img
+		if img.Rank() == 3 && img.Dim(0) == 3 {
+			col, err := shape.Colorfulness(img)
+			if err != nil {
+				return nil, err
+			}
+			saliency, err = col.Reshape(1, col.Dim(0), col.Dim(1))
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Reliable edge stage on the full-resolution saliency channel.
+		edges, execErr := reliable.Conv2D(engine, saliency, h.sobelBank, nil,
+			reliable.ConvSpec{Stride: 1, Pad: h.cfg.SobelKernel / 2})
+		res.Stats = engine.Stats()
+		res.Bucket = engine.Bucket().Snapshot()
+
+		cnnIn := img
+		if h.cfg.DownsampleFactor > 1 {
+			var err error
+			cnnIn, err = BoxDownsample(img, h.cfg.DownsampleFactor)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if execErr != nil {
+			if errors.Is(execErr, reliable.ErrBucketTripped) {
+				res.Decision = DecisionExecutionFailed
+				res.ExecErr = execErr
+				return cnnIn, nil
+			}
+			return nil, execErr
+		}
+		mag, err := EdgeMagnitudeFromChannels(edges, SobelPair{XIdx: 0, YIdx: 1})
+		if err != nil {
+			return nil, err
+		}
+		qres, err := h.qualifier.QualifyEdgeMap(mag)
+		if err != nil {
+			return nil, fmt.Errorf("core: qualifier: %w", err)
+		}
+		res.Qualifier = qres
+		return cnnIn, nil
+	}
+
+	// Bifurcated wiring: conv1 executes reliably; its output feeds both the
+	// qualifier (via the Sobel channels) and the rest of the CNN.
+	features, execErr := reliable.Conv2D(engine, img, h.conv1.Weight(), h.conv1.Bias().Data(),
+		reliable.ConvSpec{Stride: h.conv1.Stride(), Pad: h.conv1.Pad()})
+	res.Stats = engine.Stats()
+	res.Bucket = engine.Bucket().Snapshot()
+	if execErr != nil {
+		if errors.Is(execErr, reliable.ErrBucketTripped) {
+			res.Decision = DecisionExecutionFailed
+			res.ExecErr = execErr
+			return nil, nil
+		}
+		return nil, execErr
+	}
+
+	// Continue the reliable prefix beyond conv1 if configured (the
+	// generalised DCNN), then hand over to the non-reliable CNN.
+	tail := features
+	if h.cfg.DCNNDepth > 1 {
+		tail, execErr = ExecutePrefixFrom(engine, h.net, 1, h.cfg.DCNNDepth, features)
+		res.Stats = engine.Stats()
+		res.Bucket = engine.Bucket().Snapshot()
+		if execErr != nil {
+			if errors.Is(execErr, reliable.ErrBucketTripped) {
+				res.Decision = DecisionExecutionFailed
+				res.ExecErr = execErr
+				return nil, nil
+			}
+			return nil, execErr
+		}
+	}
+
+	// Qualifier path: edge magnitude from the reliably computed Sobel
+	// channels of the SAME feature map the CNN consumes.
+	mag, err := EdgeMagnitudeFromChannels(features, h.cfg.Pair)
+	if err != nil {
+		return nil, err
+	}
+	qres, err := h.qualifier.QualifyEdgeMap(mag)
+	if err != nil {
+		return nil, fmt.Errorf("core: qualifier: %w", err)
+	}
+	res.Qualifier = qres
+	return tail, nil
+}
+
+// cnnStage runs the non-reliable CNN portion over the surviving images of a
+// chunk — idxs[j] is the position of cnnIns[j] in results — filling
+// class/confidence/probs and the Reliable Result decision. Multi-image
+// chunks with one common shape pack into a single NCHW micro-batch (one
+// GEMM per layer); single images and ragged shapes take the per-sample
+// path, which computes identical logits.
+func (h *HybridNetwork) cnnStage(ctx *nn.Context, cnnIns []*tensor.Tensor, idxs []int, results []Result) error {
+	if len(cnnIns) == 0 {
+		return nil
+	}
+	from := 0
+	if h.cfg.Wiring == WiringBifurcated {
+		from = h.cfg.DCNNDepth
+	}
+	sameShape := true
+	for _, in := range cnnIns[1:] {
+		if !in.SameShape(cnnIns[0]) {
+			sameShape = false
+			break
+		}
+	}
+	if len(cnnIns) > 1 && sameShape {
+		batch, err := tensor.Stack(cnnIns)
+		if err != nil {
+			return err
+		}
+		blogits, err := h.net.ForwardBatchFrom(ctx, from, batch)
+		if err != nil {
+			return fmt.Errorf("core: CNN path: %w", err)
+		}
+		for j, i := range idxs {
+			logits, err := blogits.Sample(j)
+			if err != nil {
+				return err
+			}
+			if err := h.finishResult(logits, &results[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for j, i := range idxs {
+		logits, err := h.net.ForwardFrom(ctx, from, cnnIns[j])
+		if err != nil {
+			return fmt.Errorf("core: CNN path: %w", err)
+		}
+		if err := h.finishResult(logits, &results[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finishResult turns one logits row into class/confidence/probs and, unless
+// the reliable stage already ruled (execution failure), the decision.
+func (h *HybridNetwork) finishResult(logits *tensor.Tensor, res *Result) error {
+	probs, class, err := nn.SoftmaxArgmax(logits)
+	if err != nil {
+		return err
+	}
+	res.Probs, res.Class, res.Confidence = probs, class, probs[class]
+	if res.Decision != DecisionExecutionFailed {
+		h.decide(res)
+	}
+	return nil
 }
 
 // ClassifyBatch classifies every image through a worker pool (workers <= 0
@@ -282,135 +498,6 @@ func (h *HybridNetwork) ClassifyBatch(imgs []*tensor.Tensor, workers int) ([]Res
 		return nil, err
 	}
 	return c.ClassifyBatch(imgs)
-}
-
-// classifyParallel implements Figure 1: reliable edge stage + qualifier in
-// parallel with the (possibly downsampled) CNN.
-func (h *HybridNetwork) classifyParallel(ctx *nn.Context, engine *reliable.Engine, img *tensor.Tensor) (Result, error) {
-	var res Result
-	var err error
-	// Deterministic saliency preprocessing: traffic-sign faces are
-	// saturated, so the colourfulness channel separates the sign from grey
-	// background and clutter. It is a bounded per-pixel min/max with no
-	// accumulation — the class of operation the paper's qualifier is
-	// allowed to treat as deterministically verifiable.
-	saliency := img
-	if img.Rank() == 3 && img.Dim(0) == 3 {
-		col, err := shape.Colorfulness(img)
-		if err != nil {
-			return res, err
-		}
-		saliency, err = col.Reshape(1, col.Dim(0), col.Dim(1))
-		if err != nil {
-			return res, err
-		}
-	}
-	// Reliable edge stage on the full-resolution saliency channel.
-	edges, execErr := reliable.Conv2D(engine, saliency, h.sobelBank, nil,
-		reliable.ConvSpec{Stride: 1, Pad: h.cfg.SobelKernel / 2})
-	res.Stats = engine.Stats()
-	res.Bucket = engine.Bucket().Snapshot()
-
-	// CNN path (non-reliable by design).
-	cnnIn := img
-	if h.cfg.DownsampleFactor > 1 {
-		cnnIn, err = BoxDownsample(img, h.cfg.DownsampleFactor)
-		if err != nil {
-			return res, err
-		}
-	}
-	probs, class, err := nn.PredictCtx(ctx, h.net, cnnIn)
-	if err != nil {
-		return res, fmt.Errorf("core: CNN path: %w", err)
-	}
-	res.Probs, res.Class, res.Confidence = probs, class, probs[class]
-
-	if execErr != nil {
-		if errors.Is(execErr, reliable.ErrBucketTripped) {
-			res.Decision = DecisionExecutionFailed
-			res.ExecErr = execErr
-			return res, nil
-		}
-		return res, execErr
-	}
-	mag, err := EdgeMagnitudeFromChannels(edges, SobelPair{XIdx: 0, YIdx: 1})
-	if err != nil {
-		return res, err
-	}
-	qres, err := h.qualifier.QualifyEdgeMap(mag)
-	if err != nil {
-		return res, fmt.Errorf("core: qualifier: %w", err)
-	}
-	res.Qualifier = qres
-	h.decide(&res)
-	return res, nil
-}
-
-// classifyBifurcated implements Figure 2: conv1 executes reliably; its
-// output feeds both the qualifier (via the Sobel channels) and the rest of
-// the CNN.
-func (h *HybridNetwork) classifyBifurcated(ctx *nn.Context, engine *reliable.Engine, img *tensor.Tensor) (Result, error) {
-	var res Result
-	features, execErr := reliable.Conv2D(engine, img, h.conv1.Weight(), h.conv1.Bias().Data(),
-		reliable.ConvSpec{Stride: h.conv1.Stride(), Pad: h.conv1.Pad()})
-	res.Stats = engine.Stats()
-	res.Bucket = engine.Bucket().Snapshot()
-	if execErr != nil {
-		if errors.Is(execErr, reliable.ErrBucketTripped) {
-			res.Decision = DecisionExecutionFailed
-			res.ExecErr = execErr
-			return res, nil
-		}
-		return res, execErr
-	}
-
-	// Continue the reliable prefix beyond conv1 if configured (the
-	// generalised DCNN), then hand over to the non-reliable CNN.
-	tail := features
-	if h.cfg.DCNNDepth > 1 {
-		tail, execErr = ExecutePrefixFrom(engine, h.net, 1, h.cfg.DCNNDepth, features)
-		res.Stats = engine.Stats()
-		res.Bucket = engine.Bucket().Snapshot()
-		if execErr != nil {
-			if errors.Is(execErr, reliable.ErrBucketTripped) {
-				res.Decision = DecisionExecutionFailed
-				res.ExecErr = execErr
-				return res, nil
-			}
-			return res, execErr
-		}
-	}
-
-	// CNN path: continue after the reliable prefix.
-	logits, err := h.net.ForwardFrom(ctx, h.cfg.DCNNDepth, tail)
-	if err != nil {
-		return res, fmt.Errorf("core: CNN continuation: %w", err)
-	}
-	probs, err := nn.Softmax(logits)
-	if err != nil {
-		return res, err
-	}
-	class := 0
-	for i, p := range probs {
-		if p > probs[class] {
-			class = i
-		}
-	}
-	res.Probs, res.Class, res.Confidence = probs, class, probs[class]
-
-	// Qualifier path: edge magnitude from the reliably computed Sobel
-	// channels of the SAME feature map the CNN consumes.
-	mag, err := EdgeMagnitudeFromChannels(features, h.cfg.Pair)
-	if err != nil {
-		return res, err
-	}
-	qres, err := h.qualifier.QualifyEdgeMap(mag)
-	if err != nil {
-		return res, fmt.Errorf("core: qualifier: %w", err)
-	}
-	res.Qualifier = qres
-	h.decide(&res)
-	return res, nil
 }
 
 // decide implements the Reliable Result block.

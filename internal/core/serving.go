@@ -5,24 +5,52 @@ import (
 	"repro/internal/tensor"
 )
 
+// ClassifierConfig parameterises a BatchClassifier.
+type ClassifierConfig struct {
+	// Workers is the pool size (<= 0 defaults to GOMAXPROCS).
+	Workers int
+	// SubBatch caps how many images one worker packs into an NCHW
+	// micro-batch for the CNN stage (one GEMM per layer per sub-batch).
+	// 0 defaults to ⌈batch/workers⌉ — see infer.Config.SubBatch.
+	SubBatch int
+}
+
 // BatchClassifier is a persistent pooled hybrid classifier: the worker pool
 // — one forward context and one reliable engine per worker — is built once
 // and reused across every batch, so a serving layer pays the engine
 // construction cost at startup instead of per call. It is safe for
 // concurrent use: overlapping ClassifyBatch calls serialize through the
 // engine's exclusive entry point, each batch running with the full pool.
+//
+// Execution is sub-batch native: each worker claims contiguous sub-batches
+// of the incoming batch, runs the reliable stage and qualifier per image
+// (per-execution bucket/counter semantics) and the non-reliable CNN portion
+// as ONE NCHW micro-batch — so the serve tier's MaxBatch directly sets how
+// much weight-streaming the GEMMs amortise.
 type BatchClassifier struct {
 	h    *HybridNetwork
 	pool *infer.BatchEngine
 }
 
 // NewBatchClassifier builds the persistent pool (workers <= 0 defaults to
-// GOMAXPROCS) over the hybrid network's shared weights.
+// GOMAXPROCS) over the hybrid network's shared weights, with the default
+// sub-batch policy.
 func (h *HybridNetwork) NewBatchClassifier(workers int) (*BatchClassifier, error) {
-	if workers < 0 {
-		workers = 0
+	return h.NewBatchClassifierConfig(ClassifierConfig{Workers: workers})
+}
+
+// NewBatchClassifierConfig is NewBatchClassifier with an explicit sub-batch
+// cap.
+func (h *HybridNetwork) NewBatchClassifierConfig(cfg ClassifierConfig) (*BatchClassifier, error) {
+	if cfg.Workers < 0 {
+		cfg.Workers = 0
 	}
-	pool, err := infer.New(h.net, infer.Config{Workers: workers, EngineFactory: h.newEngine})
+	if cfg.SubBatch < 0 {
+		cfg.SubBatch = 0
+	}
+	pool, err := infer.New(h.net, infer.Config{
+		Workers: cfg.Workers, SubBatch: cfg.SubBatch, EngineFactory: h.newEngine,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -32,24 +60,20 @@ func (h *HybridNetwork) NewBatchClassifier(workers int) (*BatchClassifier, error
 // Workers returns the pool size.
 func (c *BatchClassifier) Workers() int { return c.pool.Workers() }
 
+// SubBatch returns the configured sub-batch cap (0 = ⌈batch/workers⌉).
+func (c *BatchClassifier) SubBatch() int { return c.pool.SubBatch() }
+
 // ClassifyBatch classifies every image across the pool, returning results
-// in input order. Each worker's leaky bucket is reset between images and
+// in input order. Workers claim per-worker sub-batches (ragged tails
+// rebalance through work stealing); within a sub-batch the reliable stage
+// runs per image — each worker's leaky bucket is reset between images and
 // the reliable-work counters are reported as per-inference deltas, so every
-// result keeps the per-execution semantics of Classify.
+// result keeps the per-execution semantics of Classify — while the CNN
+// stage runs the whole sub-batch through one batched forward pass.
 func (c *BatchClassifier) ClassifyBatch(imgs []*tensor.Tensor) ([]Result, error) {
 	results := make([]Result, len(imgs))
-	err := c.pool.RunExclusive(len(imgs), func(w *infer.Worker, i int) error {
-		w.Engine.Bucket().Reset()
-		before := w.Engine.Stats()
-		res, err := c.h.classify(w.Ctx, w.Engine, imgs[i])
-		if err != nil {
-			return err
-		}
-		// The engine accumulates across the worker's items; report the
-		// per-inference delta, matching Classify's fresh-engine counters.
-		res.Stats.Sub(before)
-		results[i] = res
-		return nil
+	err := c.pool.RunSubExclusive(len(imgs), func(w *infer.Worker, lo, hi int) error {
+		return c.h.classifyChunk(w.Ctx, w.Engine, imgs[lo:hi], results[lo:hi])
 	})
 	if err != nil {
 		return nil, err

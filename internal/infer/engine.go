@@ -3,25 +3,32 @@
 // internal/fault campaigns, the CLIs). It owns the worker-pool idiom the
 // layer refactor enables: layers hold only immutable parameters, so a single
 // network can serve as many concurrent passes as there are workers, each
-// worker owning one nn.Context (activation caches + im2col scratch) and,
-// when configured, one reliable.Engine for the reliably executed portion.
+// worker owning one nn.Context (activation caches + batch-sized im2col/GEMM
+// scratch) and, when configured, one reliable.Engine for the reliably
+// executed portion.
 //
-// Throughput scales with workers until the memory bandwidth of the GEMM
-// kernels saturates; the default (GOMAXPROCS) is the right choice for
-// dedicated inference. Batch sizes only need to be large enough to keep the
-// pool busy — a few times the worker count; there is no algorithmic batch
-// effect beyond scratch-buffer reuse inside each worker.
+// Execution is sub-batch native: a batch of N images is split into
+// contiguous NCHW sub-batches (Config.SubBatch images each, default
+// ⌈N/workers⌉) and each worker drives its sub-batches through
+// nn.Sequential.ForwardBatch — ONE blocked GEMM per layer per sub-batch
+// instead of one per image, so convolution and dense layers stream their
+// weights once per sub-batch. This is a real algorithmic batch effect:
+// throughput rises with batch size (weight-traffic amortisation) on top of
+// rising with workers (parallelism), until the GEMM memory bandwidth
+// saturates. Sub-batches are claimed through internal/pool work stealing,
+// so ragged tails (N not divisible by workers×SubBatch) still balance.
 //
 // # Concurrency contract
 //
 // A BatchEngine runs ONE batch at a time: an overlapping Run (or anything
-// built on it — Forward, Predict) fails fast with ErrBusy, because the
-// per-worker contexts it would reuse are not re-entrant. Callers that issue
-// batches from several goroutines serialize through RunExclusive, the
-// mutex-guarded entry point (core.BatchClassifier does). Within a batch,
-// work items are claimed lock-free through internal/pool work stealing;
-// each worker touches only its own nn.Context and reliable.Engine, so no
-// state is shared between workers except the immutable network weights.
+// built on it — Forward, Predict, RunSub, PredictBatched) fails fast with
+// ErrBusy, because the per-worker contexts it would reuse are not
+// re-entrant. Callers that issue batches from several goroutines serialize
+// through RunExclusive/RunSubExclusive, the mutex-guarded entry points
+// (core.BatchClassifier does). Within a batch, work items are claimed
+// lock-free through internal/pool work stealing; each worker touches only
+// its own nn.Context and reliable.Engine, so no state is shared between
+// workers except the immutable network weights.
 package infer
 
 import (
@@ -57,6 +64,12 @@ type Worker struct {
 type Config struct {
 	// Workers is the pool size; 0 defaults to runtime.GOMAXPROCS(0).
 	Workers int
+	// SubBatch caps how many images a worker packs into one NCHW sub-batch
+	// (one GEMM per layer per sub-batch). 0 defaults to ⌈batch/workers⌉ —
+	// the whole batch in one GEMM sweep per worker. Smaller values trade
+	// GEMM size for steal granularity (better balance when per-image cost
+	// varies); 1 degenerates to per-sample execution.
+	SubBatch int
 	// EngineFactory, when non-nil, builds one reliable.Engine per worker
 	// (hybrid classification and fault campaigns need one; plain CNN
 	// prediction does not).
@@ -72,8 +85,9 @@ type Config struct {
 // ErrBusy, and RunExclusive is the serialized entry point for callers that
 // issue batches from multiple goroutines.
 type BatchEngine struct {
-	net     *nn.Sequential
-	workers []*Worker
+	net      *nn.Sequential
+	workers  []*Worker
+	subBatch int
 
 	// inflight enforces the one-batch-at-a-time contract; mu serializes
 	// RunExclusive callers in front of it.
@@ -91,7 +105,10 @@ func New(net *nn.Sequential, cfg Config) (*BatchEngine, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("infer: worker count %d must be >= 1", cfg.Workers)
 	}
-	e := &BatchEngine{net: net, workers: make([]*Worker, n)}
+	if cfg.SubBatch < 0 {
+		return nil, fmt.Errorf("infer: sub-batch size %d must be >= 0", cfg.SubBatch)
+	}
+	e := &BatchEngine{net: net, workers: make([]*Worker, n), subBatch: cfg.SubBatch}
 	for i := range e.workers {
 		w := &Worker{ID: i, Ctx: nn.NewContext()}
 		if cfg.EngineFactory != nil {
@@ -143,6 +160,54 @@ func (e *BatchEngine) RunExclusive(n int, fn func(w *Worker, i int) error) error
 	return e.Run(n, fn)
 }
 
+// SubBatch returns the configured sub-batch cap (0 = ⌈batch/workers⌉).
+func (e *BatchEngine) SubBatch() int { return e.subBatch }
+
+// subBatchFor resolves the effective sub-batch size for an n-item batch.
+func (e *BatchEngine) subBatchFor(n int) int {
+	s := e.subBatch
+	if s <= 0 {
+		s = (n + len(e.workers) - 1) / len(e.workers)
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// RunSub executes fn(worker, lo, hi) over contiguous sub-batches [lo, hi) of
+// an n-item batch — the sub-batch counterpart of Run. Sub-batch size is
+// Config.SubBatch (default ⌈n/workers⌉); sub-batches are claimed through the
+// same work stealing as Run, so a ragged tail (or a worker stuck on a slow
+// sub-batch) rebalances instead of stalling the batch. Results must be
+// written to disjoint [lo, hi) slices, which keeps the callback race-free.
+func (e *BatchEngine) RunSub(n int, fn func(w *Worker, lo, hi int) error) error {
+	if fn == nil {
+		return fmt.Errorf("infer: run needs a work function")
+	}
+	if n <= 0 {
+		return nil
+	}
+	size := e.subBatchFor(n)
+	chunks := (n + size - 1) / size
+	return e.Run(chunks, func(w *Worker, ci int) error {
+		lo := ci * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		return fn(w, lo, hi)
+	})
+}
+
+// RunSubExclusive is RunSub behind the RunExclusive lock: overlapping
+// batches from different goroutines queue instead of failing with ErrBusy.
+func (e *BatchEngine) RunSubExclusive(n int, fn func(w *Worker, lo, hi int) error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.RunSub(n, fn)
+}
+
 // Stats sums the reliable-execution work counters across all workers —
 // the campaign-level aggregate. Zero when no EngineFactory was configured.
 func (e *BatchEngine) Stats() reliable.Stats {
@@ -182,8 +247,11 @@ func (e *BatchEngine) Forward(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	return outs, nil
 }
 
-// Predict classifies every input through the shared network and returns
-// softmax probabilities and argmax classes in input order.
+// Predict classifies every input through the shared network one sample at a
+// time and returns softmax probabilities and argmax classes in input order.
+// It is the per-sample fan-out path, kept as the reference the batched path
+// is benchmarked and equivalence-tested against; serving callers should
+// prefer PredictBatched.
 func (e *BatchEngine) Predict(xs []*tensor.Tensor) ([]Prediction, error) {
 	if e.net == nil {
 		return nil, fmt.Errorf("infer: engine has no network")
@@ -201,4 +269,109 @@ func (e *BatchEngine) Predict(xs []*tensor.Tensor) ([]Prediction, error) {
 		return nil, err
 	}
 	return preds, nil
+}
+
+// uniformShape reports whether every tensor shares xs[0]'s shape (vacuously
+// true for empty or single-element input).
+func uniformShape(xs []*tensor.Tensor) bool {
+	for _, x := range xs[1:] {
+		if !xs[0].SameShape(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// ForwardBatched runs the shared network over every input through the
+// batch-native path — each worker packs its sub-batch into one NCHW tensor
+// and issues one ForwardBatch (one GEMM per layer) — and returns per-sample
+// outputs in input order. Mixed-shape inputs cannot pack and fall back to
+// the per-sample Forward path (identical outputs, no batch effect). Unlike
+// Forward, which allocates an independent tensor per sample, the outputs of
+// one sub-batch are views over a single shared backing array: writes stay
+// disjoint per sample, but retaining one output retains the whole
+// sub-batch's output memory (Clone a sample to keep it long-term).
+func (e *BatchEngine) ForwardBatched(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if e.net == nil {
+		return nil, fmt.Errorf("infer: engine has no network")
+	}
+	if len(xs) > 1 && !uniformShape(xs) {
+		return e.Forward(xs)
+	}
+	outs := make([]*tensor.Tensor, len(xs))
+	err := e.RunSub(len(xs), func(w *Worker, lo, hi int) error {
+		bout, err := e.forwardSub(w, xs[lo:hi])
+		if err != nil {
+			return err
+		}
+		for i := lo; i < hi; i++ {
+			out, err := bout.Sample(i - lo)
+			if err != nil {
+				return err
+			}
+			outs[i] = out
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// PredictBatched is Predict through the batch-native path: sub-batches are
+// packed into NCHW tensors and classified with one GEMM per layer per
+// sub-batch, then each logits row is softmaxed individually. Results are
+// identical to Predict for any worker count and sub-batch size; mixed-shape
+// inputs cannot pack and fall back to the per-sample Predict path.
+func (e *BatchEngine) PredictBatched(xs []*tensor.Tensor) ([]Prediction, error) {
+	if e.net == nil {
+		return nil, fmt.Errorf("infer: engine has no network")
+	}
+	if len(xs) > 1 && !uniformShape(xs) {
+		return e.Predict(xs)
+	}
+	preds := make([]Prediction, len(xs))
+	err := e.RunSub(len(xs), func(w *Worker, lo, hi int) error {
+		bout, err := e.forwardSub(w, xs[lo:hi])
+		if err != nil {
+			return err
+		}
+		if bout.Rank() != 2 {
+			return fmt.Errorf("infer: batched predict wants (N,classes) logits, got %v", bout.Shape())
+		}
+		for i := lo; i < hi; i++ {
+			logits, err := bout.Sample(i - lo)
+			if err != nil {
+				return err
+			}
+			probs, class, err := nn.SoftmaxArgmax(logits)
+			if err != nil {
+				return err
+			}
+			preds[i] = Prediction{Class: class, Probs: probs}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return preds, nil
+}
+
+// forwardSub packs one sub-batch and runs the batched forward through the
+// worker's context. A single-image sub-batch skips the pack copy via a
+// reshape view.
+func (e *BatchEngine) forwardSub(w *Worker, chunk []*tensor.Tensor) (*tensor.Tensor, error) {
+	var batch *tensor.Tensor
+	var err error
+	if len(chunk) == 1 {
+		batch, err = chunk[0].Reshape(append([]int{1}, chunk[0].Shape()...)...)
+	} else {
+		batch, err = tensor.Stack(chunk)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return e.net.ForwardBatch(w.Ctx, batch)
 }

@@ -234,6 +234,192 @@ func TestBatchEngineRunExclusive(t *testing.T) {
 	}
 }
 
+// TestRunSubCoversEveryIndex: sub-batch partitioning must cover [0, n)
+// exactly once with contiguous chunks, for default and explicit sub-batch
+// sizes, including ragged tails.
+func TestRunSubCoversEveryIndex(t *testing.T) {
+	for _, tc := range []struct{ workers, subBatch, n int }{
+		{4, 0, 17}, // default: ceil(17/4) = 5 → chunks 5,5,5,2
+		{4, 0, 4},
+		{4, 0, 1},
+		{3, 2, 11}, // explicit cap, ragged tail
+		{2, 1, 5},  // per-sample degenerate
+		{8, 16, 3}, // cap larger than batch
+	} {
+		e, err := New(nil, Config{Workers: tc.workers, SubBatch: tc.subBatch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		seen := make([]int, tc.n)
+		maxChunk := 0
+		err = e.RunSub(tc.n, func(w *Worker, lo, hi int) error {
+			if lo < 0 || hi <= lo || hi > tc.n {
+				t.Errorf("%+v: bad chunk [%d,%d)", tc, lo, hi)
+			}
+			mu.Lock()
+			if hi-lo > maxChunk {
+				maxChunk = hi - lo
+			}
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("%+v: index %d covered %d times", tc, i, c)
+			}
+		}
+		want := tc.subBatch
+		if want <= 0 {
+			want = (tc.n + tc.workers - 1) / tc.workers
+		}
+		if want > tc.n {
+			want = tc.n
+		}
+		if maxChunk > want {
+			t.Fatalf("%+v: chunk of %d exceeds sub-batch cap %d", tc, maxChunk, want)
+		}
+	}
+	// Empty batch is a no-op; negative sub-batch is rejected at New.
+	e, err := New(nil, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunSub(0, func(w *Worker, lo, hi int) error {
+		t.Error("empty batch must not call fn")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(nil, Config{Workers: 2, SubBatch: -1}); err == nil {
+		t.Error("negative sub-batch should fail")
+	}
+}
+
+// TestPredictBatchedMatchesPredict: the batch-native path (packed NCHW
+// sub-batches, one GEMM per layer) must classify exactly like the
+// per-sample fan-out, for every worker count and sub-batch size, including
+// N=1 and batches ragged against the pool. Run with -race this is the
+// golden-equivalence gate of the batched execution layer.
+func TestPredictBatchedMatchesPredict(t *testing.T) {
+	net := microNet(t, 5)
+	for _, n := range []int{1, 2, 7, 17} {
+		xs := randImages(n, 16, int64(n))
+		ctx := nn.NewContext()
+		type ref struct {
+			class int
+			probs []float32
+		}
+		want := make([]ref, n)
+		for i, x := range xs {
+			probs, class, err := nn.PredictCtx(ctx, net, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = ref{class, probs}
+		}
+		for _, cfg := range []Config{
+			{Workers: 1}, {Workers: 4}, {Workers: 4, SubBatch: 3}, {Workers: 2, SubBatch: 1},
+		} {
+			e, err := New(net, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Two rounds: the second reuses the warmed batch scratch.
+			for round := 0; round < 2; round++ {
+				preds, err := e.PredictBatched(xs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, p := range preds {
+					if p.Class != want[i].class {
+						t.Fatalf("n=%d cfg=%+v round=%d: class[%d] = %d, want %d",
+							n, cfg, round, i, p.Class, want[i].class)
+					}
+					for c := range p.Probs {
+						d := float64(p.Probs[c]) - float64(want[i].probs[c])
+						if d > 1e-5 || d < -1e-5 {
+							t.Fatalf("n=%d cfg=%+v: probs[%d][%d] = %v, want %v",
+								n, cfg, i, c, p.Probs[c], want[i].probs[c])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForwardBatchedMatchesForward: per-sample outputs recovered from the
+// packed sub-batches equal the per-sample fan-out outputs.
+func TestForwardBatchedMatchesForward(t *testing.T) {
+	net := microNet(t, 6)
+	xs := randImages(9, 16, 7)
+	e, err := New(net, Config{Workers: 3, SubBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := e.ForwardBatched(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := nn.NewContext()
+	for i, x := range xs {
+		want, err := net.Forward(ctx, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d, _ := outs[i].MaxAbsDiff(want); d > 1e-5 {
+			t.Fatalf("batched forward[%d] diverges by %v", i, d)
+		}
+	}
+	if _, err := (&BatchEngine{workers: e.workers}).ForwardBatched(xs); err == nil {
+		t.Error("batched forward without network should fail")
+	}
+	if _, err := (&BatchEngine{workers: e.workers}).PredictBatched(xs); err == nil {
+		t.Error("batched predict without network should fail")
+	}
+}
+
+// TestForwardBatchedMixedShapes: inputs that cannot pack into one NCHW
+// tensor fall back to the per-sample path instead of erroring — matching
+// what Forward/Predict always accepted.
+func TestForwardBatchedMixedShapes(t *testing.T) {
+	// A conv-only net tolerates any input size ≥ the kernel.
+	conv, err := nn.NewConv2D("c", 3, 2, 3, 1, 0, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := nn.NewSequential("convnet", conv, nn.NewFlatten("f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := append(randImages(3, 16, 9), randImages(2, 12, 10)...)
+	e, err := New(net, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := e.ForwardBatched(xs)
+	if err != nil {
+		t.Fatalf("mixed-shape batched forward: %v", err)
+	}
+	ctx := nn.NewContext()
+	for i, x := range xs {
+		want, err := net.Forward(ctx, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d, _ := outs[i].MaxAbsDiff(want); d > 1e-6 {
+			t.Fatalf("mixed-shape forward[%d] diverges by %v", i, d)
+		}
+	}
+}
+
 func TestBatchEngineDefaultWorkers(t *testing.T) {
 	e, err := New(nil, Config{})
 	if err != nil {

@@ -8,8 +8,10 @@ import (
 )
 
 // Context carries all per-call mutable state of a forward/backward pass:
-// layer activation caches, im2col scratch buffers, the training switch, the
-// dropout RNG and (optionally) context-local gradient accumulators. Layers
+// layer activation caches, im2col scratch buffers (batch-sized on the
+// ForwardBatch path — they grow to the largest micro-batch seen and are
+// then reused call over call), the training switch, the dropout RNG and
+// (optionally) context-local gradient accumulators. Layers
 // themselves hold only immutable parameters, so any number of goroutines may
 // run the SAME network concurrently as long as each uses its own Context —
 // this is the contract the batched execution layer (internal/infer) and the

@@ -29,12 +29,17 @@ type Conv2D struct {
 }
 
 // convState is the per-context mutable state of one Conv2D: the forward
-// cache Backward consumes plus the reusable lowering buffers.
+// cache Backward consumes, the reusable lowering buffers, and the
+// batch-sized scratch of the batched path. The buffers grow to the
+// high-water mark of the batches seen through this context and are then
+// recycled call over call.
 type convState struct {
 	lastIn     *tensor.Tensor
 	outH, outW int
 	cols       []float32 // im2col matrix, (inC·k·k) × (outH·outW)
 	dcols      []float32 // column-space gradient scratch for Backward
+	bcols      []float32 // batched im2col matrix, (inC·k·k) × (N·outH·outW)
+	bout       []float32 // batched GEMM output, F-major (outC, N, outH·outW)
 }
 
 var _ Layer = (*Conv2D)(nil)
@@ -148,6 +153,57 @@ func (c *Conv2D) Forward(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error)
 	}
 	tensor.GemmAcc(od, c.weight.Data(), st.cols, c.outC, ckk, n)
 	st.lastIn, st.outH, st.outW = x, outH, outW
+	return out, nil
+}
+
+// ForwardBatch implements Layer for an NCHW micro-batch: ONE Im2colBatch
+// lowering and ONE blocked GEMM cover all N samples — the weight bank is
+// streamed once per batch instead of once per sample. The GEMM output is
+// F-major (outC, N, outH·outW); a contiguous per-(filter,sample) copy
+// transposes it into the NCHW output. Element-for-element the arithmetic
+// (bias seed + ascending-tap accumulation) is identical to Forward, so the
+// outputs match the per-sample path exactly. No backward state is cached.
+func (c *Conv2D) ForwardBatch(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: conv %q batched forward needs a context", c.name)
+	}
+	if x.Rank() != 4 || x.Dim(1) != c.inC {
+		return nil, fmt.Errorf("nn: conv %q wants (N,%d,H,W) batch, got %v", c.name, c.inC, x.Shape())
+	}
+	n, inH, inW := x.Dim(0), x.Dim(2), x.Dim(3)
+	outH := tensor.ConvOut(inH, c.k, c.stride, c.pad)
+	outW := tensor.ConvOut(inW, c.k, c.stride, c.pad)
+	if outH < 1 || outW < 1 {
+		return nil, fmt.Errorf("nn: conv %q kernel %d does not fit input %dx%d", c.name, c.k, inH, inW)
+	}
+	st := ctx.state(c, func() any { return &convState{} }).(*convState)
+	hw := outH * outW
+	cols := n * hw
+	ckk := c.inC * c.k * c.k
+
+	st.bcols = tensor.GrowSlice(st.bcols, ckk*cols)
+	if err := tensor.Im2colBatch(st.bcols, x.Data(), n, c.inC, inH, inW, c.k, c.stride, c.pad); err != nil {
+		return nil, fmt.Errorf("nn: conv %q: %w", c.name, err)
+	}
+	st.bout = tensor.GrowSlice(st.bout, c.outC*cols)
+	b := c.bias.Data()
+	for f := 0; f < c.outC; f++ {
+		row := st.bout[f*cols : (f+1)*cols]
+		bv := b[f]
+		for j := range row {
+			row[j] = bv
+		}
+	}
+	tensor.GemmAcc(st.bout, c.weight.Data(), st.bcols, c.outC, ckk, cols)
+
+	out := tensor.MustNew(n, c.outC, outH, outW)
+	od := out.Data()
+	for f := 0; f < c.outC; f++ {
+		fRow := st.bout[f*cols : (f+1)*cols]
+		for s := 0; s < n; s++ {
+			copy(od[(s*c.outC+f)*hw:(s*c.outC+f+1)*hw], fRow[s*hw:(s+1)*hw])
+		}
+	}
 	return out, nil
 }
 

@@ -67,7 +67,9 @@ func (d *Dense) Params() []*Param {
 	}
 }
 
-// Forward implements Layer.
+// Forward implements Layer as the N=1 case of the batched tensor.Linear
+// kernel (identical accumulation order: bias seed, then ascending input
+// index).
 func (d *Dense) Forward(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
 	if ctx == nil {
 		return nil, fmt.Errorf("nn: dense %q forward needs a context", d.name)
@@ -78,15 +80,24 @@ func (d *Dense) Forward(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) 
 	st := ctx.state(d, func() any { return &denseState{} }).(*denseState)
 	st.lastIn = x
 	out := tensor.MustNew(d.out)
-	in, w, b, od := x.Data(), d.weight.Data(), d.bias.Data(), out.Data()
-	for o := 0; o < d.out; o++ {
-		acc := b[o]
-		row := o * d.in
-		for i := 0; i < d.in; i++ {
-			acc += w[row+i] * in[i]
-		}
-		od[o] = acc
+	tensor.Linear(out.Data(), x.Data(), d.weight.Data(), d.bias.Data(), 1, d.in, d.out)
+	return out, nil
+}
+
+// ForwardBatch implements Layer over an (N, in) batch: one tensor.Linear
+// call computes X·Wᵀ + b for all N rows, streaming the weight matrix — by
+// far the largest tensor in the fully connected layers — once per batch
+// instead of once per sample. No backward state is cached.
+func (d *Dense) ForwardBatch(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: dense %q batched forward needs a context", d.name)
 	}
+	if x.Rank() != 2 || x.Dim(1) != d.in {
+		return nil, fmt.Errorf("nn: dense %q wants (N,%d) batch, got %v", d.name, d.in, x.Shape())
+	}
+	n := x.Dim(0)
+	out := tensor.MustNew(n, d.out)
+	tensor.Linear(out.Data(), x.Data(), d.weight.Data(), d.bias.Data(), n, d.in, d.out)
 	return out, nil
 }
 
@@ -177,18 +188,49 @@ func (d *Dropout) Forward(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error
 		rng = d.rng
 	}
 	out := x.Clone()
-	data := out.Data()
-	st.mask = make([]float32, len(data))
+	st.mask = make([]float32, out.Len())
+	d.applyMask(rng, out.Data(), st.mask)
+	return out, nil
+}
+
+// applyMask draws one inverted-dropout mask from rng and applies it to data
+// in place — the per-element kernel shared by the per-sample and batched
+// passes, so their keep/scale semantics cannot drift. maskOut, when non-nil,
+// receives each element's multiplier (inv or 0) for Backward.
+func (d *Dropout) applyMask(rng *rand.Rand, data, maskOut []float32) {
 	keep := 1 - d.rate
 	inv := 1 / keep
 	for i := range data {
 		if rng.Float32() < keep {
-			st.mask[i] = inv
+			if maskOut != nil {
+				maskOut[i] = inv
+			}
 			data[i] *= inv
 		} else {
 			data[i] = 0
 		}
 	}
+}
+
+// ForwardBatch implements Layer. Dropout is element-wise, so the batched
+// pass is the per-sample pass over the flattened batch: the identity at
+// inference, a fresh inverted-dropout mask over every element in training
+// contexts. No mask is cached — batched passes have no backward.
+func (d *Dropout) ForwardBatch(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: dropout %q batched forward needs a context", d.name)
+	}
+	if !ctx.Training() || d.rate == 0 {
+		return x, nil
+	}
+	rng := ctx.Rand()
+	if rng == nil {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		rng = d.rng
+	}
+	out := x.Clone()
+	d.applyMask(rng, out.Data(), nil)
 	return out, nil
 }
 

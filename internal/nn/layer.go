@@ -4,14 +4,17 @@
 // dropout), forward/backward passes, cross-entropy loss and weight
 // serialisation.
 //
-// Layers operate on single CHW samples (no batch dimension); batching is the
-// execution layer's job: internal/infer fans samples out across a worker
-// pool, internal/train accumulates gradients across a mini-batch. Layers
-// hold only immutable parameters — every per-call cache and scratch buffer
-// lives in the Context threaded through Forward/Backward — so one network
-// can serve any number of concurrent passes, one Context per goroutine.
-// Convolution runs on the im2col+GEMM kernels of internal/tensor, with the
-// direct-loop reference retained for equivalence testing.
+// The forward path is batch-native: ForwardBatch takes an NCHW (or N×K
+// flat) micro-batch and vectorises across it — convolution lowers all N
+// samples into ONE blocked GEMM per layer (tensor.Im2colBatch), dense
+// layers stream their weight matrix once per batch instead of once per
+// sample (tensor.Linear). The per-sample Forward is the N=1 case of the
+// same kernels and is the entry point for training, because only Forward
+// populates the caches Backward consumes. Layers hold only immutable
+// parameters — every per-call cache and scratch buffer (including the
+// batch-sized im2col and GEMM scratch) lives in the Context threaded
+// through the passes — so one network can serve any number of concurrent
+// passes, one Context per goroutine.
 package nn
 
 import (
@@ -47,6 +50,13 @@ type Layer interface {
 	// Forward computes the layer output for one CHW (or flat) sample,
 	// caching backward state in ctx.
 	Forward(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error)
+	// ForwardBatch computes the layer output for an NCHW (or N×K flat)
+	// micro-batch, one output sample per input sample, vectorised across
+	// the batch (convolution runs ONE GEMM for all N samples). It is the
+	// inference fast path: it caches NO backward state — run per-sample
+	// Forward when a Backward will follow. Batch-sized scratch lives in
+	// ctx and is reused across calls.
+	ForwardBatch(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error)
 	// Backward computes the input gradient from the output gradient. It
 	// must be called on the same Context after Forward, with a gradient
 	// matching the output shape.
@@ -112,6 +122,32 @@ func (s *Sequential) ForwardFrom(ctx *Context, from int, x *tensor.Tensor) (*ten
 		x, err = s.layers[i].Forward(ctx, x)
 		if err != nil {
 			return nil, fmt.Errorf("nn: forward layer %d (%s): %w", i, s.layers[i].Name(), err)
+		}
+	}
+	return x, nil
+}
+
+// ForwardBatch runs the full chain over an NCHW micro-batch through ctx:
+// one batched pass, one GEMM per convolution/dense layer for all N samples.
+func (s *Sequential) ForwardBatch(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	return s.ForwardBatchFrom(ctx, 0, x)
+}
+
+// ForwardBatchFrom runs the batched chain starting at layer index from
+// (inclusive) — the hybrid network's entry point for continuing a
+// micro-batch of classifications from the reliably computed DCNN outputs.
+func (s *Sequential) ForwardBatchFrom(ctx *Context, from int, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: batched forward needs a context")
+	}
+	if from < 0 || from > len(s.layers) {
+		return nil, fmt.Errorf("nn: forward-from index %d out of range [0,%d]", from, len(s.layers))
+	}
+	var err error
+	for i := from; i < len(s.layers); i++ {
+		x, err = s.layers[i].ForwardBatch(ctx, x)
+		if err != nil {
+			return nil, fmt.Errorf("nn: batched forward layer %d (%s): %w", i, s.layers[i].Name(), err)
 		}
 	}
 	return x, nil

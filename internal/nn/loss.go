@@ -47,6 +47,25 @@ func CrossEntropyLoss(logits *tensor.Tensor, label int) (loss float64, grad *ten
 	return loss, grad, nil
 }
 
+// SoftmaxArgmax returns the softmax distribution over a flat logits tensor
+// and its argmax class (ties resolve to the lowest index). It is THE
+// logits-to-verdict tail shared by every prediction path — per-sample
+// (PredictCtx), batched (infer.PredictBatched rows) and hybrid
+// (core's result finishing) — so the batched-equals-per-sample
+// equivalence guarantee cannot drift between copies.
+func SoftmaxArgmax(logits *tensor.Tensor) (probs []float32, class int, err error) {
+	probs, err = Softmax(logits)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i, p := range probs {
+		if p > probs[class] {
+			class = i
+		}
+	}
+	return probs, class, nil
+}
+
 // Predict runs an inference forward pass through a fresh context and
 // returns the class probabilities and the argmax class. For repeated or
 // concurrent prediction, allocate a Context per goroutine and use
@@ -62,16 +81,5 @@ func PredictCtx(ctx *Context, net *Sequential, x *tensor.Tensor) (probs []float3
 	if err != nil {
 		return nil, 0, fmt.Errorf("nn: predict forward: %w", err)
 	}
-	probs, err = Softmax(logits)
-	if err != nil {
-		return nil, 0, err
-	}
-	class = 0
-	best := probs[0]
-	for i, p := range probs {
-		if p > best {
-			best, class = p, i
-		}
-	}
-	return probs, class, nil
+	return SoftmaxArgmax(logits)
 }

@@ -73,9 +73,15 @@ func (l *LRN) Forward(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
 	} else {
 		st.denom = make([]float64, c*h*w)
 	}
-	in, od := x.Data(), out.Data()
+	l.normalize(x.Data(), out.Data(), c, h*w, st.denom)
+	return out, nil
+}
+
+// normalize applies the LRN kernel to one CHW sample (c channels of hw
+// elements). When denom is non-nil it receives the per-element
+// k + (α/n)Σx² cache Backward consumes; the batched path passes nil.
+func (l *LRN) normalize(in, od []float32, c, hw int, denom []float64) {
 	half := l.n / 2
-	hw := h * w
 	for pos := 0; pos < hw; pos++ {
 		for ch := 0; ch < c; ch++ {
 			lo := ch - half
@@ -93,9 +99,31 @@ func (l *LRN) Forward(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
 			}
 			d := l.k + l.alpha/float64(l.n)*ss
 			idx := ch*hw + pos
-			st.denom[idx] = d
+			if denom != nil {
+				denom[idx] = d
+			}
 			od[idx] = float32(float64(in[idx]) * math.Pow(d, -l.beta))
 		}
+	}
+}
+
+// ForwardBatch implements Layer over an NCHW batch: normalisation windows
+// span channels within a sample, so the batched pass applies the per-sample
+// kernel to each of the N packed samples, with no denominator cache (no
+// backward).
+func (l *LRN) ForwardBatch(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: lrn %q batched forward needs a context", l.name)
+	}
+	if x.Rank() != 4 {
+		return nil, fmt.Errorf("nn: lrn %q wants NCHW batch, got %v", l.name, x.Shape())
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	out := tensor.MustNew(n, c, h, w)
+	in, od := x.Data(), out.Data()
+	chw := c * h * w
+	for s := 0; s < n; s++ {
+		l.normalize(in[s*chw:(s+1)*chw], od[s*chw:(s+1)*chw], c, h*w, nil)
 	}
 	return out, nil
 }

@@ -70,27 +70,60 @@ func (p *MaxPool2D) Forward(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, err
 	}
 	in, od := x.Data(), out.Data()
 	for ch := 0; ch < c; ch++ {
-		chBase := ch * h * w
-		for oy := 0; oy < outH; oy++ {
-			for ox := 0; ox < outW; ox++ {
-				best := float32(math.Inf(-1))
-				bestIdx := -1
-				for ky := 0; ky < p.k; ky++ {
-					iy := oy*p.stride + ky
-					row := chBase + iy*w
-					for kx := 0; kx < p.k; kx++ {
-						ix := ox*p.stride + kx
-						if v := in[row+ix]; v > best {
-							best = v
-							bestIdx = row + ix
-						}
+		p.poolPlane(in, od, st.argmax, ch*h*w, ch*outH*outW, w, outH, outW)
+	}
+	return out, nil
+}
+
+// poolPlane sweeps the max window over one (h, w) plane starting at pBase
+// of in, writing outputs from oBase of out — the per-plane kernel shared by
+// the per-sample and batched passes, so their window semantics cannot
+// drift. argmax, when non-nil, receives each output's linear input index
+// (absolute in in) for Backward.
+func (p *MaxPool2D) poolPlane(in, out []float32, argmax []int, pBase, oBase, w, outH, outW int) {
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			best := float32(math.Inf(-1))
+			bestIdx := -1
+			for ky := 0; ky < p.k; ky++ {
+				row := pBase + (oy*p.stride+ky)*w
+				for kx := 0; kx < p.k; kx++ {
+					ix := ox*p.stride + kx
+					if v := in[row+ix]; v > best {
+						best = v
+						bestIdx = row + ix
 					}
 				}
-				oIdx := (ch*outH+oy)*outW + ox
-				od[oIdx] = best
-				st.argmax[oIdx] = bestIdx
+			}
+			oIdx := oBase + oy*outW + ox
+			out[oIdx] = best
+			if argmax != nil {
+				argmax[oIdx] = bestIdx
 			}
 		}
+	}
+}
+
+// ForwardBatch implements Layer over an NCHW batch. Pooling is independent
+// per (sample, channel) plane, so the batched pass sweeps all N·C planes of
+// the packed batch in one pass, with no argmax cache (no backward).
+func (p *MaxPool2D) ForwardBatch(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: pool %q batched forward needs a context", p.name)
+	}
+	if x.Rank() != 4 {
+		return nil, fmt.Errorf("nn: pool %q wants NCHW batch, got %v", p.name, x.Shape())
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if h < p.k || w < p.k {
+		return nil, fmt.Errorf("nn: pool %q window %d does not fit input %dx%d", p.name, p.k, h, w)
+	}
+	outH := (h-p.k)/p.stride + 1
+	outW := (w-p.k)/p.stride + 1
+	out := tensor.MustNew(n, c, outH, outW)
+	in, od := x.Data(), out.Data()
+	for plane := 0; plane < n*c; plane++ {
+		p.poolPlane(in, od, nil, plane*h*w, plane*outH*outW, w, outH, outW)
 	}
 	return out, nil
 }
@@ -161,6 +194,23 @@ func (r *ReLU) Forward(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
 	return out, nil
 }
 
+// ForwardBatch implements Layer: ReLU is element-wise, so the batched pass
+// is one clamp sweep over the packed batch, with no mask cache (no
+// backward).
+func (r *ReLU) ForwardBatch(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: relu %q batched forward needs a context", r.name)
+	}
+	out := x.Clone()
+	d := out.Data()
+	for i, v := range d {
+		if !(v > 0) { // matches Forward: non-positive AND NaN clamp to 0
+			d[i] = 0
+		}
+	}
+	return out, nil
+}
+
 // Backward implements Layer.
 func (r *ReLU) Backward(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, error) {
 	if ctx == nil {
@@ -213,6 +263,19 @@ func (f *Flatten) Forward(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error
 	st := ctx.state(f, func() any { return &flattenState{} }).(*flattenState)
 	st.dims = x.Shape()
 	return x.Reshape(x.Len())
+}
+
+// ForwardBatch implements Layer: an (N, C, H, W) batch reshapes to
+// (N, C·H·W), one flat row per sample (a view, no copy).
+func (f *Flatten) ForwardBatch(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: flatten %q batched forward needs a context", f.name)
+	}
+	if x.Rank() < 2 {
+		return nil, fmt.Errorf("nn: flatten %q wants a batch of rank >= 2, got %v", f.name, x.Shape())
+	}
+	n := x.Dim(0)
+	return x.Reshape(n, x.Len()/n)
 }
 
 // Backward implements Layer.

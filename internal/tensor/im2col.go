@@ -5,9 +5,13 @@ import "fmt"
 // Im2col / Col2im lower 2-D convolution onto GEMM: each k×k receptive field
 // of a CHW input becomes one column of a (C·k·k) × (outH·outW) matrix, so
 // the convolution with an (F, C, k, k) filter bank is a single
-// (F) × (C·k·k) · (C·k·k) × (outH·outW) matrix product.
+// (F) × (C·k·k) · (C·k·k) × (outH·outW) matrix product. Im2colBatch extends
+// the lowering across the batch dimension: all N samples of an NCHW input
+// land side by side in ONE (C·k·k) × (N·outH·outW) matrix, so a whole
+// micro-batch convolves in a single blocked GEMM per layer. Im2col is the
+// N=1 case of that layout.
 //
-// Both functions are allocation-free over caller-provided slices and carry no
+// All functions are allocation-free over caller-provided slices and carry no
 // state, so they are safe for concurrent use with per-caller buffers.
 
 // ConvOut returns the output spatial extent of a convolution of kernel k
@@ -26,48 +30,72 @@ func ConvOut(in, k, stride, pad int) int {
 // (c·k·k) × (outH·outW) matrix, where row (ch·k+ky)·k+kx holds the input
 // value each output position sees through kernel tap (ch, ky, kx); padding
 // positions are zero. dst must hold c·k·k·outH·outW elements (use ConvOut
-// for the output extents); it returns an error otherwise.
+// for the output extents); it returns an error otherwise. It is exactly
+// Im2colBatch with a batch of one.
 func Im2col(dst, src []float32, c, h, w, k, stride, pad int) error {
+	return Im2colBatch(dst, src, 1, c, h, w, k, stride, pad)
+}
+
+// Im2colBatch expands the NCHW input src (n×c×h×w) into dst as ONE row-major
+// (c·k·k) × (n·outH·outW) matrix: row (ch·k+ky)·k+kx holds, for every sample
+// s and output position p, the input value sample s's position p sees
+// through kernel tap (ch, ky, kx), at column s·outH·outW + p. A convolution
+// over the whole batch is then a single
+// (F) × (c·k·k) · (c·k·k) × (n·outH·outW) GEMM whose output is F-major
+// (F, n, outH·outW) — one contiguous outH·outW run per (filter, sample).
+// dst must hold c·k·k·n·outH·outW elements; src n·c·h·w.
+func Im2colBatch(dst, src []float32, n, c, h, w, k, stride, pad int) error {
 	outH := ConvOut(h, k, stride, pad)
 	outW := ConvOut(w, k, stride, pad)
 	if outH < 1 || outW < 1 {
 		return fmt.Errorf("tensor: im2col kernel %d (stride %d, pad %d) does not fit input %dx%d",
 			k, stride, pad, h, w)
 	}
-	n := outH * outW
-	if len(dst) < c*k*k*n {
-		return fmt.Errorf("tensor: im2col dst length %d < %d", len(dst), c*k*k*n)
+	if n < 1 {
+		return fmt.Errorf("tensor: im2col batch %d must be >= 1", n)
 	}
-	if len(src) < c*h*w {
-		return fmt.Errorf("tensor: im2col src length %d < %d", len(src), c*h*w)
+	hw := outH * outW
+	rowLen := n * hw
+	if len(dst) < c*k*k*rowLen {
+		return fmt.Errorf("tensor: im2col dst length %d < %d for batch %d × (%d,%d,%d) kernel %d stride %d pad %d",
+			len(dst), c*k*k*rowLen, n, c, h, w, k, stride, pad)
 	}
-	for ch := 0; ch < c; ch++ {
-		chBase := ch * h * w
-		for ky := 0; ky < k; ky++ {
-			for kx := 0; kx < k; kx++ {
-				row := dst[((ch*k+ky)*k+kx)*n : ((ch*k+ky)*k+kx)*n+n]
-				for oy := 0; oy < outH; oy++ {
-					iy := oy*stride - pad + ky
-					out := row[oy*outW : (oy+1)*outW]
-					if iy < 0 || iy >= h {
-						for i := range out {
-							out[i] = 0
+	if len(src) < n*c*h*w {
+		return fmt.Errorf("tensor: im2col src length %d < %d for batch %d × (%d,%d,%d)",
+			len(src), n*c*h*w, n, c, h, w)
+	}
+	for s := 0; s < n; s++ {
+		sample := src[s*c*h*w:]
+		colOff := s * hw
+		for ch := 0; ch < c; ch++ {
+			chBase := ch * h * w
+			for ky := 0; ky < k; ky++ {
+				for kx := 0; kx < k; kx++ {
+					rowBase := ((ch*k+ky)*k + kx) * rowLen
+					row := dst[rowBase+colOff : rowBase+colOff+hw]
+					for oy := 0; oy < outH; oy++ {
+						iy := oy*stride - pad + ky
+						out := row[oy*outW : (oy+1)*outW]
+						if iy < 0 || iy >= h {
+							for i := range out {
+								out[i] = 0
+							}
+							continue
 						}
-						continue
-					}
-					in := src[chBase+iy*w : chBase+(iy+1)*w]
-					ix := -pad + kx
-					if stride == 1 && ix >= 0 && ix+outW <= w {
-						copy(out, in[ix:ix+outW])
-						continue
-					}
-					for ox := 0; ox < outW; ox++ {
-						if ix >= 0 && ix < w {
-							out[ox] = in[ix]
-						} else {
-							out[ox] = 0
+						in := sample[chBase+iy*w : chBase+(iy+1)*w]
+						ix := -pad + kx
+						if stride == 1 && ix >= 0 && ix+outW <= w {
+							copy(out, in[ix:ix+outW])
+							continue
 						}
-						ix += stride
+						for ox := 0; ox < outW; ox++ {
+							if ix >= 0 && ix < w {
+								out[ox] = in[ix]
+							} else {
+								out[ox] = 0
+							}
+							ix += stride
+						}
 					}
 				}
 			}
@@ -89,10 +117,11 @@ func Col2im(dst, cols []float32, c, h, w, k, stride, pad int) error {
 	}
 	n := outH * outW
 	if len(cols) < c*k*k*n {
-		return fmt.Errorf("tensor: col2im cols length %d < %d", len(cols), c*k*k*n)
+		return fmt.Errorf("tensor: col2im cols length %d < %d for (%d,%d,%d) kernel %d stride %d pad %d",
+			len(cols), c*k*k*n, c, h, w, k, stride, pad)
 	}
 	if len(dst) < c*h*w {
-		return fmt.Errorf("tensor: col2im dst length %d < %d", len(dst), c*h*w)
+		return fmt.Errorf("tensor: col2im dst length %d < %d for (%d,%d,%d)", len(dst), c*h*w, c, h, w)
 	}
 	for ch := 0; ch < c; ch++ {
 		chBase := ch * h * w

@@ -1,26 +1,52 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Blocked GEMM kernels over row-major float32 slices. These are the compute
 // substrate of the im2col convolution path (internal/nn) and are written for
-// the shapes that path produces: tall-skinny and fat-short matrices with a
-// few hundred to a few thousand elements per side.
+// the shapes that path produces: from per-sample matrices a few hundred
+// elements per side up to batch-wide matrices whose n dimension spans a
+// whole NCHW micro-batch of output positions.
 //
-// The kernels carry no state and never allocate, so they are safe for
-// concurrent use; callers own the slices.
+// The kernels carry no caller-visible state, so they are safe for concurrent
+// use; callers own the slices. (Gemm/GemmAcc recycle their internal packing
+// panels through a sync.Pool rather than allocating per call.)
 //
-// Loop order is i–l–j (axpy style): the innermost loop walks contiguous rows
-// of both B and C, which the compiler turns into bounds-check-free streaming
-// code. Blocking over (i, l) keeps a panel of B resident in cache while a
-// block of A rows is consumed.
+// Structure: blocking over (j, l) carves B into (gemmBlockK × gemmBlockN)
+// panels; each panel is PACKED once into a dense scratch buffer and then
+// reused across every row of A (axpy-style i–l–j sweeps, which the compiler
+// turns into bounds-check-free streaming code). Packing is what makes the
+// batch-wide GEMMs of the NCHW forward path fast: with all N samples' im2col
+// columns in one matrix, B's row stride spans megabytes, and walking 128
+// such rows per output row would thrash the TLB; the dense panel costs one
+// copy per (j, l) block and turns the hot loop into sequential 512 KiB-
+// resident streams. Packing never reorders the per-element accumulation
+// (l ascends for every output element), so results are bit-identical to the
+// unblocked schoolbook loop evaluated in the same order — and the batched
+// forward path is bit-identical to the per-sample one.
 
 const (
-	// gemmBlockM is the number of A/C rows processed per B panel.
+	// gemmBlockM is the number of output rows processed per B panel in the
+	// transposed kernels (GemmTA), which keep the original i-blocked sweep.
 	gemmBlockM = 64
-	// gemmBlockK is the depth of the B panel kept cache-resident.
+	// gemmBlockK is the depth of the packed B panel.
 	gemmBlockK = 128
+	// gemmBlockN is the width of the packed B panel. 128×1024 float32 =
+	// 512 KiB, sized to survive in L2 across the full sweep of A rows.
+	gemmBlockN = 1024
 )
+
+// gemmPanels recycles packing buffers across GEMM calls (and goroutines:
+// each call Gets its own panel, so the kernels stay concurrency-safe).
+var gemmPanels = sync.Pool{
+	New: func() any {
+		s := make([]float32, gemmBlockK*gemmBlockN)
+		return &s
+	},
+}
 
 // Gemm computes dst = a·b for row-major a (m×k), b (k×n), dst (m×n),
 // overwriting dst. Slices must have at least m*k, k*n and m*n elements;
@@ -40,18 +66,26 @@ func GemmAcc(dst, a, b []float32, m, k, n int) {
 }
 
 func gemmAcc(dst, a, b []float32, m, k, n int) {
-	for i0 := 0; i0 < m; i0 += gemmBlockM {
-		iMax := min(i0+gemmBlockM, m)
+	pp := gemmPanels.Get().(*[]float32)
+	panel := *pp
+	for j0 := 0; j0 < n; j0 += gemmBlockN {
+		jMax := min(j0+gemmBlockN, n)
+		jw := jMax - j0
 		for l0 := 0; l0 < k; l0 += gemmBlockK {
 			lMax := min(l0+gemmBlockK, k)
-			for i := i0; i < iMax; i++ {
-				cr := dst[i*n : (i+1)*n]
+			// Pack the (lMax−l0) × jw panel of B densely, once, then reuse
+			// it across every row of A.
+			for l := l0; l < lMax; l++ {
+				copy(panel[(l-l0)*jw:(l-l0)*jw+jw], b[l*n+j0:l*n+jMax])
+			}
+			for i := 0; i < m; i++ {
+				cr := dst[i*n+j0 : i*n+jMax]
 				ar := a[i*k+l0 : i*k+lMax]
 				for li, av := range ar {
 					if av == 0 {
 						continue
 					}
-					br := b[(l0+li)*n : (l0+li)*n+n]
+					br := panel[li*jw : li*jw+jw]
 					for j, bv := range br {
 						cr[j] += av * bv
 					}
@@ -59,6 +93,7 @@ func gemmAcc(dst, a, b []float32, m, k, n int) {
 			}
 		}
 	}
+	gemmPanels.Put(pp)
 }
 
 // GemmTA computes dst += aᵀ·b for row-major a (k×m), b (k×n), dst (m×n).
@@ -114,8 +149,41 @@ func GemmTB(dst, a, b []float32, m, k, n int) {
 
 func checkGemm(ld, la, lb, m, k, n int) {
 	if m < 0 || k < 0 || n < 0 || la < m*k || lb < k*n || ld < m*n {
-		panic(fmt.Sprintf("tensor: gemm operand lengths (%d,%d,%d) too short for m=%d k=%d n=%d",
-			ld, la, lb, m, k, n))
+		panic(fmt.Sprintf("tensor: gemm operand lengths dst=%d a=%d b=%d too short for (m=%d)×(k=%d)·(k=%d)×(n=%d): need dst≥%d a≥%d b≥%d",
+			ld, la, lb, m, k, k, n, m*n, m*k, k*n))
+	}
+}
+
+// Linear computes dst = x·wᵀ + bias over a whole batch of rows: x is
+// row-major (n × in), w is (out × in) — the Dense layer's natural layout —
+// bias is (out) or nil, dst is (n × out), overwritten. It is the batched
+// dense-layer kernel: the weight-row-outer loop order streams each of the
+// out weight rows exactly ONCE per call and reuses it against all n input
+// rows, so a micro-batch pays the weight-matrix memory traffic once instead
+// of once per sample — the dominant cost of the big fully connected layers,
+// whose weights dwarf every cache. For n == 1 the accumulation order is
+// identical to the historical per-sample loop (bias first, then ascending
+// input index), so per-sample Forward is exactly the N=1 case.
+func Linear(dst, x, w, bias []float32, n, in, out int) {
+	if n < 0 || in < 0 || out < 0 || len(x) < n*in || len(w) < out*in || len(dst) < n*out ||
+		(bias != nil && len(bias) < out) {
+		panic(fmt.Sprintf("tensor: linear operand lengths dst=%d x=%d w=%d bias=%d too short for (n=%d)×(in=%d)·(out=%d)×(in=%d): need dst≥%d x≥%d w≥%d",
+			len(dst), len(x), len(w), len(bias), n, in, out, in, n*out, n*in, out*in))
+	}
+	for o := 0; o < out; o++ {
+		wr := w[o*in : (o+1)*in]
+		var bv float32
+		if bias != nil {
+			bv = bias[o]
+		}
+		for i := 0; i < n; i++ {
+			xr := x[i*in : (i+1)*in]
+			acc := bv
+			for l, wv := range wr {
+				acc += wv * xr[l]
+			}
+			dst[i*out+o] = acc
+		}
 	}
 }
 

@@ -4,8 +4,11 @@
 // generator (internal/gtsrb) and the shape qualifier (internal/shape).
 //
 // Tensors are row-major ("C order"). Convolutional data uses CHW layout
-// (channels, height, width); batches are handled by the callers, which keeps
-// the layer implementations simple and the indexing explicit.
+// (channels, height, width) per sample and NCHW for micro-batches (Stack
+// packs samples, Sample views them back out). The batched kernels —
+// Im2colBatch and Linear — lay a whole micro-batch into one matrix so a
+// convolution or dense layer runs as a single blocked GEMM per batch; the
+// per-sample entry points are their N=1 cases.
 //
 // The package is deliberately free of global state: all random fills take an
 // explicit *rand.Rand so that every experiment in the repository is
@@ -239,6 +242,55 @@ func (t *Tensor) Filter(f int) (*Tensor, error) {
 		shape:   []int{t.shape[1], t.shape[2], t.shape[3]},
 		strides: stridesFor(t.shape[1:]),
 		data:    t.data[f*chw : (f+1)*chw],
+	}, nil
+}
+
+// Stack copies equal-shaped tensors into one new tensor with a leading batch
+// dimension: n inputs of shape (d₀,…) become (n, d₀, …). It is the packing
+// step of the batch-native forward path — per-sample CHW images become the
+// NCHW micro-batch one GEMM per layer consumes. The data is copied, so the
+// result does not alias the inputs.
+func Stack(ts []*Tensor) (*Tensor, error) {
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("tensor: stack needs at least one tensor")
+	}
+	for i, t := range ts {
+		if t == nil {
+			return nil, fmt.Errorf("tensor: stack input %d is nil", i)
+		}
+		if !ts[0].SameShape(t) {
+			return nil, fmt.Errorf("tensor: stack shape mismatch at input %d: %v != %v",
+				i, t.shape, ts[0].shape)
+		}
+	}
+	out, err := New(append([]int{len(ts)}, ts[0].shape...)...)
+	if err != nil {
+		return nil, err
+	}
+	per := ts[0].Len()
+	for i, t := range ts {
+		copy(out.data[i*per:(i+1)*per], t.data)
+	}
+	return out, nil
+}
+
+// Sample returns a rank-(r−1) view of sample i of a batched tensor (leading
+// dimension = batch). The view shares storage with t.
+func (t *Tensor) Sample(i int) (*Tensor, error) {
+	if len(t.shape) < 2 {
+		return nil, fmt.Errorf("tensor: Sample needs rank >= 2 (batch-leading), got shape %v", t.shape)
+	}
+	if i < 0 || i >= t.shape[0] {
+		return nil, fmt.Errorf("tensor: sample %d out of range [0,%d) for shape %v", i, t.shape[0], t.shape)
+	}
+	per := 1
+	for _, d := range t.shape[1:] {
+		per *= d
+	}
+	return &Tensor{
+		shape:   append([]int(nil), t.shape[1:]...),
+		strides: stridesFor(t.shape[1:]),
+		data:    t.data[i*per : (i+1)*per],
 	}, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/gtsrb"
 	"repro/internal/infer"
 	"repro/internal/nn"
+	"repro/internal/tensor"
 )
 
 // ConfusionMatrix counts (true label, predicted label) pairs.
@@ -124,9 +125,12 @@ func Evaluate(net *nn.Sequential, ds *gtsrb.Dataset) (*ConfusionMatrix, error) {
 }
 
 // EvaluateParallel is Evaluate with an explicit worker count (0 = all
-// cores). Predictions are made through per-worker contexts over the shared
-// network and recorded in example order, so the matrix is identical for
-// every worker count.
+// cores). The dataset runs through the batch-native forward path: each
+// worker packs its share of examples into NCHW micro-batches and classifies
+// them with one GEMM per layer per sub-batch (infer.PredictBatched).
+// Predictions are recorded in example order and the batched path computes
+// the same logits as per-sample forward, so the matrix is identical for
+// every worker count and sub-batch size.
 func EvaluateParallel(net *nn.Sequential, ds *gtsrb.Dataset, workers int) (*ConfusionMatrix, error) {
 	if net == nil || ds == nil || ds.Len() == 0 {
 		return nil, fmt.Errorf("train: evaluate needs a network and a non-empty dataset")
@@ -139,20 +143,16 @@ func EvaluateParallel(net *nn.Sequential, ds *gtsrb.Dataset, workers int) (*Conf
 	if err != nil {
 		return nil, err
 	}
-	preds := make([]int, ds.Len())
-	err = pool.Run(ds.Len(), func(w *infer.Worker, i int) error {
-		_, pred, err := nn.PredictCtx(w.Ctx, net, ds.Examples[i].Image)
-		if err != nil {
-			return fmt.Errorf("train: evaluate example %d: %w", i, err)
-		}
-		preds[i] = pred
-		return nil
-	})
+	xs := make([]*tensor.Tensor, ds.Len())
+	for i, ex := range ds.Examples {
+		xs[i] = ex.Image
+	}
+	preds, err := pool.PredictBatched(xs)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("train: evaluate: %w", err)
 	}
 	for i, ex := range ds.Examples {
-		if err := cm.Add(ex.Label, preds[i]); err != nil {
+		if err := cm.Add(ex.Label, preds[i].Class); err != nil {
 			return nil, err
 		}
 	}
