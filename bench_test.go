@@ -352,6 +352,48 @@ func BenchmarkForwardBatch_MicroNet(b *testing.B) {
 	benchForwardBatchLayer(b, net, 3, 32) // Sequential implements Layer
 }
 
+// Intra-GEMM parallelism — a single conv3- or fc6-shaped GEMM split across
+// gemm workers (tensor.SetGemmWorkers, the -gemm-workers axis of the
+// daemons). This is the latency lever: same work, fewer wall-clock
+// milliseconds per layer, results bit-identical. Scaling requires real
+// cores — at GOMAXPROCS=1 the splits serialize and the sweep should be
+// flat, which is exactly why the flag defaults to off.
+func BenchmarkGemmWorkers(b *testing.B) {
+	defer tensor.SetGemmWorkers(1)
+	rng := rand.New(rand.NewSource(37))
+	shapes := []struct {
+		name    string
+		m, k, n int
+	}{
+		// conv3 batched at n=8: 384 filters × (256·3·3) over 8×13×13 positions.
+		{"conv3_n8", 384, 2304, 1352},
+		// fc6 batched at n=8: 8 samples × 9216 inputs × 4096 outputs.
+		{"fc6_n8", 8, 9216, 4096},
+	}
+	for _, s := range shapes {
+		a := make([]float32, s.m*s.k)
+		bb := make([]float32, s.k*s.n)
+		for i := range a {
+			a[i] = rng.Float32()
+		}
+		for i := range bb {
+			bb[i] = rng.Float32()
+		}
+		dst := make([]float32, s.m*s.n)
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("shape=%s/gemm-workers=%d", s.name, workers), func(b *testing.B) {
+				tensor.SetGemmWorkers(workers)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tensor.Gemm(dst, a, bb, s.m, s.k, s.n)
+				}
+				flops := 2 * float64(s.m) * float64(s.k) * float64(s.n)
+				b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+			})
+		}
+	}
+}
+
 // BatchEngine throughput — shared-weight inference over a worker pool, on
 // an AlexNet-shaped micro network. One benchmark iteration classifies the
 // whole batch; throughput in samples/op scales with workers until the GEMM

@@ -70,6 +70,7 @@ func run(args []string) error {
 	adaptive := fs.Bool("adaptive-weights", true, "scale placement by each worker's reported per-image service time")
 	restartMax := fs.Int("restart-max", 5, "consecutive respawn attempts before a dead worker is permanently down (0 = default, negative disables respawn)")
 	restartBackoff := fs.Duration("restart-backoff", 250*time.Millisecond, "initial respawn backoff (doubles per consecutive attempt)")
+	gemmWorkers := fs.Int("gemm-workers", 1, "per-worker intra-GEMM parallelism, appended to spawned workers' args (spawn mode; 1 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,7 +98,11 @@ func run(args []string) error {
 	case *attach != "":
 		router, err = shard.New(splitList(*attach), cfg)
 	case *workerBin != "":
-		router, err = shard.Spawn(*workerBin, *shards, strings.Fields(*workerArgs), cfg)
+		wargs := strings.Fields(*workerArgs)
+		if *gemmWorkers != 1 {
+			wargs = append(wargs, "-gemm-workers", strconv.Itoa(*gemmWorkers))
+		}
+		router, err = shard.Spawn(*workerBin, *shards, wargs, cfg)
 	default:
 		return fmt.Errorf("need -worker-bin (spawn workers) or -attach (use running workers)")
 	}

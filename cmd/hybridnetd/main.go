@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -66,9 +67,11 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 5*time.Second, "per-request deadline")
 	size := fs.Int("size", 32, "input size for -demo and server-side rendering")
 	seed := fs.Int64("seed", 1, "random seed")
+	gemmWorkers := fs.Int("gemm-workers", 1, "goroutines per GEMM call (intra-GEMM row parallelism; 1 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	tensor.SetGemmWorkers(*gemmWorkers)
 
 	var h *core.HybridNetwork
 	var err error
@@ -102,8 +105,9 @@ func run(args []string) error {
 		return err
 	}
 	httpSrv := &http.Server{Handler: srv.mux()}
-	log.Printf("hybridnetd listening on %s (workers=%d subbatch=%d max-batch=%d max-delay=%v queue=%d)",
-		ln.Addr(), bc.Workers(), bc.SubBatch(), *maxBatch, *maxDelay, *queueSize)
+	log.Printf("hybridnetd listening on %s (workers=%d subbatch=%d max-batch=%d max-delay=%v queue=%d gemm=%s gemm-workers=%d)",
+		ln.Addr(), bc.Workers(), bc.SubBatch(), *maxBatch, *maxDelay, *queueSize,
+		tensor.GemmKernel(), tensor.GemmWorkers())
 	// Worker mode: report the bound address on stdout so a supervisor
 	// (hybridnet-router) that started us with -addr 127.0.0.1:0 can learn
 	// the kernel-assigned port. Logs go to stderr, so this is the only
@@ -294,7 +298,11 @@ func (s *server) decodeImage(req classifyRequest) (*tensor.Tensor, error) {
 
 // handleHealthz reports liveness plus the two signals the shard router
 // feeds into placement: the live queue depth (load) and the rolling
-// per-image service time (capacity, for adaptive weighting).
+// per-image service time (capacity, for adaptive weighting). The build
+// block identifies the compute substrate — which GEMM kernel this binary
+// selected at init and what the host CPU offers — so a heterogeneous fleet
+// (some workers on SIMD, some on the pure-Go fallback) is diagnosable from
+// the outside.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.sched.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -302,6 +310,14 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"queue_depth": st.QueueDepth,
 		"service_ns":  st.ServiceTime.Nanoseconds(),
 		"uptime_s":    time.Since(s.start).Seconds(),
+		"build": map[string]any{
+			"gemm_kernel":  tensor.GemmKernel(),
+			"cpu_features": tensor.CPUFeatures(),
+			"gemm_workers": tensor.GemmWorkers(),
+			"gomaxprocs":   runtime.GOMAXPROCS(0),
+			"num_cpu":      runtime.NumCPU(),
+			"go_arch":      runtime.GOARCH,
+		},
 	})
 }
 

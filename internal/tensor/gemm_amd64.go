@@ -1,0 +1,95 @@
+//go:build amd64 && !noasm
+
+package tensor
+
+// CPU-feature detection and microkernel declarations for the AVX2/FMA GEMM
+// path. The kernels themselves live in gemm_amd64.s; the packed-panel loop
+// nest that drives them is in gemm_packed.go. Building with `-tags noasm`
+// (or on any other architecture) removes this file and the package falls
+// back to the pure-Go blocked kernels in matmul.go, which are bit-identical
+// to the pre-SIMD implementation.
+
+// Implemented in gemm_amd64.s.
+func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// Implemented in gemm_amd64.s.
+func xgetbvAsm() (eax, edx uint32)
+
+// gemmKernel6x16 computes a full 6×16 tile of C += A·B from packed slivers.
+// Implemented in gemm_amd64.s.
+//
+//go:noescape
+func gemmKernel6x16(c, a, b *float32, kc, ldc int64)
+
+// gemmKernel6x16Edge is the same kernel with mr valid rows and a 16-lane
+// column mask, for tiles that touch a matrix edge. Implemented in
+// gemm_amd64.s.
+//
+//go:noescape
+func gemmKernel6x16Edge(c, a, b *float32, kc, ldc, mr int64, mask *int32)
+
+// linearKernel8 computes 8 consecutive Dense outputs of one sample,
+// dst[0:rows] = bias + x·wᵀ, with no packing (the Linear shapes are too
+// tall-skinny for packing to pay). Implemented in gemm_amd64.s.
+//
+//go:noescape
+func linearKernel8(dst, x, w, bias *float32, ldw, kfull, ktail, rows int64, kmask, omask *int32)
+
+func init() {
+	feats := detectX86Features()
+	cpuFeatures = feats.list
+	// The microkernel needs AVX2 + FMA with OS support for YMM state
+	// (OSXSAVE set and XCR0 reporting XMM+YMM enabled).
+	if feats.avx2 && feats.fma && feats.osYMM {
+		gemmAsmActive = true
+		gemmKernelName = "avx2-fma"
+	}
+}
+
+type x86Features struct {
+	avx2, fma, osYMM bool
+	list             string
+}
+
+func detectX86Features() x86Features {
+	var f x86Features
+	maxLeaf, _, _, _ := cpuidAsm(0, 0)
+	if maxLeaf < 1 {
+		return f
+	}
+	_, _, ecx1, _ := cpuidAsm(1, 0)
+	const (
+		bitFMA     = 1 << 12
+		bitOSXSAVE = 1 << 27
+		bitAVX     = 1 << 28
+	)
+	avx := ecx1&bitAVX != 0
+	f.fma = ecx1&bitFMA != 0
+	if ecx1&bitOSXSAVE != 0 {
+		xcr0, _ := xgetbvAsm()
+		f.osYMM = xcr0&0x6 == 0x6 // XMM and YMM state enabled by the OS
+	}
+	var avx2, avx512f bool
+	if maxLeaf >= 7 {
+		_, ebx7, _, _ := cpuidAsm(7, 0)
+		avx2 = ebx7&(1<<5) != 0
+		avx512f = ebx7&(1<<16) != 0
+	}
+	f.avx2 = avx2
+	list := ""
+	add := func(ok bool, name string) {
+		if !ok {
+			return
+		}
+		if list != "" {
+			list += ","
+		}
+		list += name
+	}
+	add(avx, "avx")
+	add(avx2, "avx2")
+	add(f.fma, "fma")
+	add(avx512f, "avx512f")
+	f.list = list
+	return f
+}

@@ -1,0 +1,21 @@
+//go:build !amd64 || noasm
+
+package tensor
+
+// Fallback build (non-amd64 architectures, or `-tags noasm`): the SIMD
+// microkernel path is compiled out, gemmAsmActive stays false, and every
+// GEMM runs the pure-Go blocked kernels in matmul.go — bit-identical to the
+// pre-SIMD implementation. Intra-GEMM row parallelism (SetGemmWorkers)
+// still applies; it splits the same scalar kernels across row blocks.
+
+// gemmAsmRows is never reached when gemmAsmActive is false; the stub keeps
+// the dispatch sites in matmul.go compiling on every platform.
+func gemmAsmRows(dst, a, b []float32, i0, i1, k, n int, lda, ldb int, aT, bT bool) {
+	panic("tensor: SIMD gemm kernel called in a noasm build")
+}
+
+// linearAsm is the SIMD Linear driver; same never-reached contract as
+// gemmAsmRows.
+func linearAsm(dst, x, w, bias []float32, n, in, out int) {
+	panic("tensor: SIMD linear kernel called in a noasm build")
+}
