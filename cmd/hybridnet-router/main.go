@@ -3,13 +3,22 @@
 // replica and micro-batching scheduler, and presents the same three
 // endpoints a single daemon exposes.
 //
-//	POST /classify  routed to a shard: weighted power-of-two-choices on
-//	                load per capacity (-weights, -adaptive-weights),
-//	                round-robin on ties; one automatic failover on a dead
-//	                or load-shedding (503) shard
-//	GET  /healthz   router + fleet health (503 once no shard is routable)
-//	GET  /stats     per-shard serve.Stats plus the serve.Merge aggregate
-//	                (fleet latency quantiles from merged histograms)
+//	POST /classify        routed to a shard: weighted power-of-two-choices on
+//	                      load per capacity (-weights, -adaptive-weights),
+//	                      round-robin on ties; one automatic failover on a dead
+//	                      or load-shedding (503) shard
+//	GET  /healthz         router + fleet health (503 once no shard is routable)
+//	GET  /stats           per-shard serve.Stats plus the serve.Merge aggregate
+//	                      (fleet latency quantiles from merged histograms)
+//	GET  /metrics         the fleet view in Prometheus text format: aggregate
+//	                      serve counters plus per-shard breaker/restart series
+//	GET  /debug/requests  fleet-wide flight recorder (every shard's dump
+//	                      merged with the router's own)
+//
+// Every proxied /classify carries an X-Hybridnet-Trace ID (minted at this
+// edge unless the client sent one) to the worker and back, with the worker's
+// span breakdown in X-Hybridnet-Spans and the router's own attempts in
+// X-Hybridnet-Router-Spans.
 //
 // The router either spawns and supervises its own workers (each started
 // with -addr 127.0.0.1:0; the bound port is read from the worker's stdout
@@ -33,9 +42,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only via -debug-addr
 	"os"
 	"os/signal"
 	"strconv"
@@ -43,6 +52,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
+	"repro/internal/obs/logx"
 	"repro/internal/shard"
 )
 
@@ -71,9 +82,18 @@ func run(args []string) error {
 	restartMax := fs.Int("restart-max", 5, "consecutive respawn attempts before a dead worker is permanently down (0 = default, negative disables respawn)")
 	restartBackoff := fs.Duration("restart-backoff", 250*time.Millisecond, "initial respawn backoff (doubles per consecutive attempt)")
 	gemmWorkers := fs.Int("gemm-workers", 1, "per-worker intra-GEMM parallelism, appended to spawned workers' args (spawn mode; 1 = off)")
+	debugAddr := fs.String("debug-addr", "", "optional second listen address exposing net/http/pprof (empty = off)")
+	traceSample := fs.Float64("trace-sample", 0, "fraction of proxied requests logged with their span breakdown (0 = off, 1 = all)")
+	traceDepth := fs.Int("trace-depth", obs.DefaultRecorderDepth, "flight recorder depth: K slowest + K most recent traces kept for /debug/requests")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug|info|warn|error")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	level, err := logx.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := logx.New(os.Stderr, level)
 
 	cfg := shard.Config{
 		HealthInterval:   *healthInterval,
@@ -82,6 +102,10 @@ func run(args []string) error {
 		AdaptiveWeights:  *adaptive,
 		RestartMax:       *restartMax,
 		RestartBackoff:   *restartBackoff,
+		Logf:             logger.Logf,
+		Log:              logger,
+		TraceDepth:       *traceDepth,
+		TraceSample:      *traceSample,
 	}
 	if *weights != "" {
 		w, err := parseWeights(*weights)
@@ -91,7 +115,6 @@ func run(args []string) error {
 		cfg.Weights = w
 	}
 	var router *shard.Router
-	var err error
 	switch {
 	case *attach != "" && *workerBin != "":
 		return fmt.Errorf("-attach and -worker-bin are mutually exclusive")
@@ -116,7 +139,7 @@ func run(args []string) error {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := router.Shutdown(ctx); err != nil {
-			log.Printf("hybridnet-router: shutdown: %v", err)
+			logger.Warn("shutdown", "err", err)
 		}
 	}()
 
@@ -131,8 +154,20 @@ func run(args []string) error {
 		return err
 	}
 	httpSrv := &http.Server{Handler: router.Mux()}
-	log.Printf("hybridnet-router listening on %s (%d shards, probe %v, breaker %d)",
-		ln.Addr(), router.Shards(), *healthInterval, *breaker)
+	logger.Info("listening", "addr", ln.Addr().String(), "shards", router.Shards(),
+		"probe", *healthInterval, "breaker", *breaker)
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		logger.Info("pprof listening", "addr", dln.Addr().String())
+		go func() {
+			if err := http.Serve(dln, nil); err != nil {
+				logger.Warn("pprof server exited", "err", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -144,7 +179,7 @@ func run(args []string) error {
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("hybridnet-router shutting down: draining %d shards", router.Shards())
+	logger.Info("shutting down", "draining_shards", router.Shards())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
@@ -154,8 +189,9 @@ func run(args []string) error {
 	if err := router.Shutdown(shutdownCtx); err != nil {
 		return err
 	}
-	log.Printf("hybridnet-router drained: %d proxied (%d failovers), fleet completed %d in %d batches (mean %.2f)",
-		rep.Proxied, rep.Failovers, rep.Aggregate.Completed, rep.Aggregate.Batches, rep.Aggregate.MeanBatch)
+	logger.Info("drained", "proxied", rep.Proxied, "failovers", rep.Failovers,
+		"completed", rep.Aggregate.Completed, "batches", rep.Aggregate.Batches,
+		"mean_batch", rep.Aggregate.MeanBatch)
 	return nil
 }
 

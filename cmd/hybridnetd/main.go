@@ -8,10 +8,17 @@
 //
 // API:
 //
-//	POST /classify  {"sign":"stop","seed":7}  or  {"image_png":"<base64>"}
-//	GET  /healthz   liveness + queue depth
-//	GET  /stats     scheduler counters: queue depth, batch-size histogram,
-//	                p50/p99 latency, backend utilisation
+//	POST /classify        {"sign":"stop","seed":7}  or  {"image_png":"<base64>"}
+//	GET  /healthz         liveness + queue depth
+//	GET  /stats           scheduler counters: queue depth, batch-size histogram,
+//	                      p50/p99 latency, backend utilisation
+//	GET  /metrics         the same counters in Prometheus text format
+//	GET  /debug/requests  flight recorder: K slowest + K most recent traces
+//
+// Every /classify response carries X-Hybridnet-Trace (the request's trace
+// ID, minted here unless the caller — typically hybridnet-router — sent one)
+// and X-Hybridnet-Spans (the per-stage timing breakdown). -debug-addr
+// optionally exposes net/http/pprof on a second listener.
 //
 // Run a trained model:   hybridnetd -model model.json
 // Run without a model:   hybridnetd -demo       (untrained weights; the
@@ -27,19 +34,22 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"math/rand"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only via -debug-addr
 	"os"
 	"os/signal"
 	"runtime"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/gtsrb"
+	"repro/internal/obs"
+	"repro/internal/obs/logx"
 	"repro/internal/serve"
 	"repro/internal/tensor"
 )
@@ -68,13 +78,21 @@ func run(args []string) error {
 	size := fs.Int("size", 32, "input size for -demo and server-side rendering")
 	seed := fs.Int64("seed", 1, "random seed")
 	gemmWorkers := fs.Int("gemm-workers", 1, "goroutines per GEMM call (intra-GEMM row parallelism; 1 = off)")
+	debugAddr := fs.String("debug-addr", "", "optional second listen address exposing net/http/pprof (empty = off)")
+	traceSample := fs.Float64("trace-sample", 0, "fraction of traced requests logged with their span breakdown (0 = off, 1 = all)")
+	traceDepth := fs.Int("trace-depth", obs.DefaultRecorderDepth, "flight recorder depth: K slowest + K most recent traces kept for /debug/requests")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug|info|warn|error")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	tensor.SetGemmWorkers(*gemmWorkers)
+	level, err := logx.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := logx.New(os.Stderr, level)
 
 	var h *core.HybridNetwork
-	var err error
 	switch {
 	case *demo && *modelPath != "":
 		return fmt.Errorf("-demo and -model are mutually exclusive")
@@ -100,14 +118,33 @@ func run(args []string) error {
 	}
 
 	srv := newServer(sched, *timeout, *size)
+	srv.log = logger
+	srv.rec = obs.NewRecorder(*traceDepth)
+	srv.sample = newSampler(*traceSample)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	httpSrv := &http.Server{Handler: srv.mux()}
-	log.Printf("hybridnetd listening on %s (workers=%d subbatch=%d max-batch=%d max-delay=%v queue=%d gemm=%s gemm-workers=%d)",
-		ln.Addr(), bc.Workers(), bc.SubBatch(), *maxBatch, *maxDelay, *queueSize,
-		tensor.GemmKernel(), tensor.GemmWorkers())
+	logger.Info("listening",
+		"addr", ln.Addr().String(), "workers", bc.Workers(), "subbatch", bc.SubBatch(),
+		"max_batch", *maxBatch, "max_delay", *maxDelay, "queue", *queueSize,
+		"gemm", tensor.GemmKernel(), "gemm_workers", tensor.GemmWorkers())
+	if *debugAddr != "" {
+		// pprof rides the DefaultServeMux (the blank net/http/pprof import);
+		// it only becomes reachable when the operator asks for the second
+		// listener, so the serving port never exposes profiling.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		logger.Info("pprof listening", "addr", dln.Addr().String())
+		go func() {
+			if err := http.Serve(dln, nil); err != nil {
+				logger.Warn("pprof server exited", "err", err)
+			}
+		}()
+	}
 	// Worker mode: report the bound address on stdout so a supervisor
 	// (hybridnet-router) that started us with -addr 127.0.0.1:0 can learn
 	// the kernel-assigned port. Logs go to stderr, so this is the only
@@ -126,7 +163,7 @@ func run(args []string) error {
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("hybridnetd shutting down: draining")
+	logger.Info("shutting down: draining")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
@@ -136,9 +173,38 @@ func run(args []string) error {
 		return err
 	}
 	st := sched.Stats()
-	log.Printf("hybridnetd drained: %d completed in %d batches (mean %.2f)",
-		st.Completed, st.Batches, st.MeanBatch)
+	logger.Info("drained", "completed", st.Completed, "batches", st.Batches,
+		"mean_batch", st.MeanBatch)
 	return nil
+}
+
+// sampler decides which traced requests get their span breakdown logged: a
+// deterministic 1-in-N counter derived from the -trace-sample fraction, so a
+// given rate yields a predictable log volume (no per-request randomness).
+type sampler struct {
+	every uint64 // 0 = never
+	n     atomic.Uint64
+}
+
+func newSampler(fraction float64) *sampler {
+	s := &sampler{}
+	if fraction > 0 {
+		if fraction > 1 {
+			fraction = 1
+		}
+		s.every = uint64(1 / fraction)
+		if s.every < 1 {
+			s.every = 1
+		}
+	}
+	return s
+}
+
+func (s *sampler) hit() bool {
+	if s == nil || s.every == 0 {
+		return false
+	}
+	return s.n.Add(1)%s.every == 0
 }
 
 // server holds the HTTP handler state.
@@ -147,6 +213,9 @@ type server struct {
 	timeout time.Duration
 	size    int // server-side render size
 	start   time.Time
+	log     *logx.Logger  // nil-safe: tests construct a bare server
+	rec     *obs.Recorder // nil-safe flight recorder
+	sample  *sampler      // nil-safe trace-log sampler
 }
 
 func newServer(sched *serve.Scheduler, timeout time.Duration, size int) *server {
@@ -158,6 +227,8 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/classify", s.handleClassify)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/requests", s.handleDebugRequests)
 	return mux
 }
 
@@ -193,7 +264,84 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("hybridnetd: write response: %v", err)
+		logx.Default().Warn("write response", "err", err)
+	}
+}
+
+// traceID resolves the request's trace ID: the propagated header if the
+// caller (the router, typically) sent a well-formed one, a freshly minted ID
+// otherwise.
+func traceID(r *http.Request) string {
+	if id := r.Header.Get(obs.TraceHeader); obs.ValidTraceID(id) {
+		return id
+	}
+	return obs.NewTraceID()
+}
+
+// schedSpans turns the scheduler's Timing into the request's span list:
+// contiguous top-level stages (queue wait, batch assembly, backend) whose
+// deltas tile the scheduler's portion of the wall clock, plus dotted
+// backend.* sub-spans carrying the batch-level pipeline breakdown (summed
+// per-worker wall time — drill-down data, excluded from the top-level sum).
+func schedSpans(tm serve.Timing, spans []obs.Span) []obs.Span {
+	if tm.Done.IsZero() {
+		return spans
+	}
+	spans = append(spans,
+		obs.Span{Name: "queue", Dur: tm.Picked.Sub(tm.Enqueued)},
+		obs.Span{Name: "batch", Dur: tm.Dispatched.Sub(tm.Picked)},
+		obs.Span{Name: "backend", Dur: tm.Done.Sub(tm.Dispatched)},
+	)
+	if st := tm.Stages; st.Reliable > 0 || st.Qualifier > 0 || st.CNN > 0 {
+		spans = append(spans,
+			obs.Span{Name: "backend.reliable", Dur: st.Reliable},
+			obs.Span{Name: "backend.qualifier", Dur: st.Qualifier},
+			obs.Span{Name: "backend.cnn", Dur: st.CNN},
+		)
+	}
+	return spans
+}
+
+// finishTrace files the completed request with the flight recorder and emits
+// the structured outcome line: errors always (one warn line per 503/504/499
+// with the trace ID), successes at debug, and -trace-sample promotes a
+// deterministic fraction of requests to info with the full span breakdown.
+func (s *server) finishTrace(rec obs.TraceRecord, batch int, errMsg string) {
+	s.rec.Record(rec)
+	level := logx.Debug
+	if rec.Status != http.StatusOK {
+		level = logx.Warn
+	}
+	sampled := s.sample.hit()
+	if sampled && level < logx.Info {
+		level = logx.Info
+	}
+	if !s.log.Enabled(level) {
+		return
+	}
+	kvs := []any{
+		"trace", rec.ID, "status", rec.Status,
+		"total_ms", float64(rec.Total.Microseconds()) / 1000,
+	}
+	if batch > 0 {
+		kvs = append(kvs, "batch", batch)
+	}
+	if errMsg != "" {
+		kvs = append(kvs, "err", errMsg)
+	}
+	if d := rec.Attrs["decision"]; d != "" {
+		kvs = append(kvs, "decision", d)
+	}
+	if sampled && len(rec.Spans) > 0 {
+		kvs = append(kvs, "spans", obs.FormatSpans(rec.Spans))
+	}
+	switch level {
+	case logx.Warn:
+		s.log.Warn("request", kvs...)
+	case logx.Info:
+		s.log.Info("request", kvs...)
+	default:
+		s.log.Debug("request", kvs...)
 	}
 }
 
@@ -202,6 +350,9 @@ func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
 		return
 	}
+	start := time.Now()
+	trace := traceID(r)
+	w.Header().Set(obs.TraceHeader, trace)
 	var req classifyRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20)).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad request body: %v", err)})
@@ -212,10 +363,12 @@ func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
+	// admission covers everything before the scheduler saw the request:
+	// body read, decode/render, deadline setup.
+	spans := []obs.Span{{Name: "admission", Dur: time.Since(start)}}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
-	start := time.Now()
-	res, err := s.sched.Submit(ctx, img)
+	res, timing, err := s.sched.SubmitTraced(ctx, img)
 	if err != nil {
 		status := http.StatusInternalServerError
 		switch {
@@ -231,11 +384,23 @@ func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			// Nobody reads this response; the distinct status keeps client
 			// disconnects out of the 503 load-shedding accounting.
 			status = statusClientClosedRequest
-			log.Printf("hybridnetd: client gone before verdict: %v", err)
 		}
+		// Failed requests have no scheduler breakdown; the wait span covers
+		// the whole time inside Submit (queued until rejection/expiry).
+		spans = append(spans, obs.Span{Name: "wait", Dur: time.Since(start) - spans[0].Dur})
+		w.Header().Set(obs.SpansHeader, obs.FormatSpans(spans))
 		writeJSON(w, status, errorResponse{err.Error()})
+		s.finishTrace(obs.TraceRecord{
+			ID: trace, Start: start, Status: status, Total: time.Since(start), Spans: spans,
+		}, 0, err.Error())
 		return
 	}
+	spans = schedSpans(timing, spans)
+	// deliver is the handoff tail: backend done → response committed here.
+	// (The only wall time the spans don't cover is the sub-microsecond gap
+	// between the admission measurement and the scheduler's enqueue stamp.)
+	spans = append(spans, obs.Span{Name: "deliver", Dur: time.Since(timing.Done)})
+	w.Header().Set(obs.SpansHeader, obs.FormatSpans(spans))
 	resp := classifyResponse{
 		Class:          res.Class,
 		Confidence:     res.Confidence,
@@ -249,6 +414,10 @@ func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		resp.ClassName = classes[res.Class].Name
 	}
 	writeJSON(w, http.StatusOK, resp)
+	s.finishTrace(obs.TraceRecord{
+		ID: trace, Start: start, Status: http.StatusOK, Total: time.Since(start), Spans: spans,
+		Attrs: map[string]string{"decision": res.Decision.String()},
+	}, timing.BatchSize, "")
 }
 
 // decodeImage resolves the request body to a CHW tensor.
@@ -323,4 +492,28 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.sched.Stats())
+}
+
+// handleMetrics renders the scheduler snapshot in Prometheus text format.
+// It is a stateless view over the same counters /stats serves, so the two
+// endpoints can never disagree.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := obs.NewPromWriter(w)
+	obs.WriteServeStats(p, s.sched.Stats())
+	p.Info("hybridnet_build_info",
+		"Compute substrate of this worker: selected GEMM kernel and host CPU.",
+		obs.Label{Name: "gemm_kernel", Value: tensor.GemmKernel()},
+		obs.Label{Name: "gemm_workers", Value: fmt.Sprint(tensor.GemmWorkers())},
+		obs.Label{Name: "go_arch", Value: runtime.GOARCH},
+	)
+	if err := p.Err(); err != nil {
+		s.log.Warn("write metrics", "err", err)
+	}
+}
+
+// handleDebugRequests dumps the flight recorder: the K most recent and K
+// slowest request traces this process has served.
+func (s *server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.rec.Snapshot())
 }

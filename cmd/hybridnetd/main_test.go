@@ -16,6 +16,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/gtsrb"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/tensor"
 )
@@ -36,7 +37,9 @@ func newTestServer(t *testing.T) (*httptest.Server, *core.HybridNetwork) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newServer(sched, 10*time.Second, 32).mux())
+	s := newServer(sched, 10*time.Second, 32)
+	s.rec = obs.NewRecorder(8)
+	srv := httptest.NewServer(s.mux())
 	t.Cleanup(func() {
 		srv.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

@@ -29,9 +29,11 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/shard"
 )
@@ -44,8 +46,9 @@ func main() {
 	concurrency := flag.Int("concurrency", 256, "max in-flight requests before shedding")
 	timeout := flag.Duration("timeout", 10*time.Second, "client request timeout")
 	router := flag.Bool("router", false, "target is hybridnet-router: report per-shard vs aggregate stats after the run")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of requests to trace: parse X-Hybridnet-Spans and report the server-side per-stage breakdown (0 = off)")
 	flag.Parse()
-	if err := run(*addr, *rps, *duration, *sign, *concurrency, *timeout, *router); err != nil {
+	if err := run(*addr, *rps, *duration, *sign, *concurrency, *timeout, *router, *traceSample); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
@@ -55,16 +58,53 @@ func main() {
 // serve.Histogram — the same mergeable log-bucketed structure the servers
 // report — so the client-side quantiles are directly comparable to the
 // /stats ones (both exact-to-bucket) and the memory cost is flat no matter
-// how long the run is.
+// how long the run is. Sampled traces land their per-stage spans in stages,
+// one histogram per span name (router spans under a "router/" prefix).
 type tally struct {
 	mu        sync.Mutex
 	latencies *serve.Histogram
 	status    map[int]int
 	errors    int
 	shed      int
+	stages    map[string]*serve.Histogram
+	traced    int
 }
 
-func run(addr string, rps float64, duration time.Duration, sign string, concurrency int, timeout time.Duration, router bool) error {
+// observeSpans folds one traced response's span headers into the per-stage
+// histograms. Caller holds t.mu.
+func (t *tally) observeSpans(hdr http.Header) {
+	worker, err := obs.ParseSpans(hdr.Get(obs.SpansHeader))
+	if err != nil {
+		return
+	}
+	routerSpans, err := obs.ParseSpans(hdr.Get(obs.RouterSpansHeader))
+	if err != nil {
+		return
+	}
+	if len(worker) == 0 && len(routerSpans) == 0 {
+		return
+	}
+	t.traced++
+	for _, s := range worker {
+		h := t.stages[s.Name]
+		if h == nil {
+			h = serve.NewHistogram()
+			t.stages[s.Name] = h
+		}
+		h.Observe(s.Dur)
+	}
+	for _, s := range routerSpans {
+		name := "router/" + s.Name
+		h := t.stages[name]
+		if h == nil {
+			h = serve.NewHistogram()
+			t.stages[name] = h
+		}
+		h.Observe(s.Dur)
+	}
+}
+
+func run(addr string, rps float64, duration time.Duration, sign string, concurrency int, timeout time.Duration, router bool, traceSample float64) error {
 	if rps <= 0 {
 		return fmt.Errorf("rps must be > 0")
 	}
@@ -77,7 +117,18 @@ func run(addr string, rps float64, duration time.Duration, sign string, concurre
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 
-	t := &tally{latencies: serve.NewHistogram(), status: map[int]int{}}
+	t := &tally{latencies: serve.NewHistogram(), status: map[int]int{},
+		stages: map[string]*serve.Histogram{}}
+	sampleEvery := 0
+	if traceSample > 0 {
+		if traceSample > 1 {
+			traceSample = 1
+		}
+		sampleEvery = int(1 / traceSample)
+		if sampleEvery < 1 {
+			sampleEvery = 1
+		}
+	}
 	sem := make(chan struct{}, concurrency)
 	var wg sync.WaitGroup
 	interval := time.Duration(float64(time.Second) / rps)
@@ -119,6 +170,9 @@ func run(addr string, rps float64, duration time.Duration, sign string, concurre
 			t.status[resp.StatusCode]++
 			if resp.StatusCode == http.StatusOK {
 				t.latencies.Observe(lat)
+				if sampleEvery > 0 && seq%sampleEvery == 0 {
+					t.observeSpans(resp.Header)
+				}
 			}
 			t.mu.Unlock()
 		}(seq)
@@ -148,6 +202,24 @@ func run(addr string, rps float64, duration time.Duration, sign string, concurre
 		n, q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
 		q(0.99).Round(time.Microsecond), t.latencies.Max().Round(time.Microsecond))
 	fmt.Printf("success throughput: %.1f rps\n", float64(n)/duration.Seconds())
+	if t.traced > 0 {
+		// The server-side view of where sampled requests spent their time:
+		// top-level stages tile the wall clock; dotted sub-spans (backend.cnn)
+		// and router/ attempts are drill-down detail.
+		fmt.Printf("server-side stage breakdown (%d traced):\n", t.traced)
+		names := make([]string, 0, len(t.stages))
+		for name := range t.stages {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h := t.stages[name]
+			fmt.Printf("  %-20s p50 %v  p99 %v  max %v\n", name,
+				h.Quantile(0.50).Round(time.Microsecond),
+				h.Quantile(0.99).Round(time.Microsecond),
+				h.Max().Round(time.Microsecond))
+		}
+	}
 	if router {
 		return reportShards(client, addr)
 	}

@@ -3,12 +3,33 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/nn"
 	"repro/internal/reliable"
 	"repro/internal/shape"
 	"repro/internal/tensor"
 )
+
+// StageTimes is the per-stage wall-time breakdown of the classify
+// pipeline: the reliable stage (edge convolution or DCNN prefix), the
+// shape qualifier, and the batched non-reliable CNN. Each worker measures
+// the chunks it processes, so across a pooled batch the fields are
+// summed per-worker wall time — they can exceed the batch's wall clock
+// when workers run in parallel, the same way CPU time can. Zero-valued
+// when the caller did not ask for timing.
+type StageTimes struct {
+	Reliable  time.Duration `json:"reliable_ns"`
+	Qualifier time.Duration `json:"qualifier_ns"`
+	CNN       time.Duration `json:"cnn_ns"`
+}
+
+// Add accumulates other into s.
+func (s *StageTimes) Add(other StageTimes) {
+	s.Reliable += other.Reliable
+	s.Qualifier += other.Qualifier
+	s.CNN += other.CNN
+}
 
 // Wiring selects between the paper's two hybrid architectures.
 type Wiring int
@@ -260,7 +281,7 @@ func (h *HybridNetwork) Classify(img *tensor.Tensor) (Result, error) {
 
 func (h *HybridNetwork) classify(ctx *nn.Context, engine *reliable.Engine, img *tensor.Tensor) (Result, error) {
 	results := make([]Result, 1)
-	if err := h.classifyChunk(ctx, engine, []*tensor.Tensor{img}, results); err != nil {
+	if err := h.classifyChunk(ctx, engine, []*tensor.Tensor{img}, results, nil); err != nil {
 		return Result{}, err
 	}
 	return results[0], nil
@@ -282,12 +303,19 @@ func (h *HybridNetwork) classify(ctx *nn.Context, engine *reliable.Engine, img *
 //
 // A single-image chunk skips the pack and runs the per-sample CNN path;
 // both paths compute identical logits.
-func (h *HybridNetwork) classifyChunk(ctx *nn.Context, engine *reliable.Engine, imgs []*tensor.Tensor, results []Result) error {
+//
+// When st is non-nil the chunk's per-stage wall time is accumulated into
+// it (reliable stage, qualifier, batched CNN) — one goroutine owns a chunk
+// end to end, so plain additions suffice.
+func (h *HybridNetwork) classifyChunk(ctx *nn.Context, engine *reliable.Engine, imgs []*tensor.Tensor, results []Result, st *StageTimes) error {
 	if h.cfg.Wiring != WiringParallel && h.cfg.Wiring != WiringBifurcated {
 		return fmt.Errorf("core: unknown wiring %d", int(h.cfg.Wiring))
 	}
 	if len(imgs) != len(results) {
 		return fmt.Errorf("core: classify chunk has %d images for %d results", len(imgs), len(results))
+	}
+	if st == nil {
+		st = &StageTimes{} // timing always measured into somewhere; discarded when unwanted
 	}
 	// Stage 1: reliable execution + qualifier, per sample.
 	cnnIns := make([]*tensor.Tensor, 0, len(imgs))
@@ -295,7 +323,12 @@ func (h *HybridNetwork) classifyChunk(ctx *nn.Context, engine *reliable.Engine, 
 	for i, img := range imgs {
 		engine.Bucket().Reset()
 		before := engine.Stats()
-		cnnIn, err := h.reliableStage(engine, img, &results[i])
+		qBefore := st.Qualifier
+		stageStart := time.Now()
+		cnnIn, err := h.reliableStage(engine, img, &results[i], st)
+		// The qualifier ran inside reliableStage and booked its own time;
+		// the reliable span is the remainder.
+		st.Reliable += time.Since(stageStart) - (st.Qualifier - qBefore)
 		// The engine accumulates across the chunk; report the per-inference
 		// delta, matching Classify's fresh-engine counters.
 		results[i].Stats.Sub(before)
@@ -308,7 +341,10 @@ func (h *HybridNetwork) classifyChunk(ctx *nn.Context, engine *reliable.Engine, 
 		}
 	}
 	// Stage 2: the CNN portion, micro-batched.
-	return h.cnnStage(ctx, cnnIns, idxs, results)
+	cnnStart := time.Now()
+	err := h.cnnStage(ctx, cnnIns, idxs, results)
+	st.CNN += time.Since(cnnStart)
+	return err
 }
 
 // reliableStage runs everything except the non-reliable CNN for one image:
@@ -319,8 +355,9 @@ func (h *HybridNetwork) classifyChunk(ctx *nn.Context, engine *reliable.Engine, 
 // consume: the (possibly downsampled) input image (parallel — returned even
 // after an execution failure, whose Result still reports the CNN's opinion)
 // or the reliably computed feature map (bifurcated; nil after a failure,
-// because the CNN cannot run without it).
-func (h *HybridNetwork) reliableStage(engine *reliable.Engine, img *tensor.Tensor, res *Result) (*tensor.Tensor, error) {
+// because the CNN cannot run without it). Qualifier wall time is booked
+// into st.Qualifier so the caller can split it out of the stage total.
+func (h *HybridNetwork) reliableStage(engine *reliable.Engine, img *tensor.Tensor, res *Result, st *StageTimes) (*tensor.Tensor, error) {
 	if h.cfg.Wiring == WiringParallel {
 		// Deterministic saliency preprocessing: traffic-sign faces are
 		// saturated, so the colourfulness channel separates the sign from
@@ -360,11 +397,13 @@ func (h *HybridNetwork) reliableStage(engine *reliable.Engine, img *tensor.Tenso
 			}
 			return nil, execErr
 		}
+		qStart := time.Now()
 		mag, err := EdgeMagnitudeFromChannels(edges, SobelPair{XIdx: 0, YIdx: 1})
 		if err != nil {
 			return nil, err
 		}
 		qres, err := h.qualifier.QualifyEdgeMap(mag)
+		st.Qualifier += time.Since(qStart)
 		if err != nil {
 			return nil, fmt.Errorf("core: qualifier: %w", err)
 		}
@@ -406,11 +445,13 @@ func (h *HybridNetwork) reliableStage(engine *reliable.Engine, img *tensor.Tenso
 
 	// Qualifier path: edge magnitude from the reliably computed Sobel
 	// channels of the SAME feature map the CNN consumes.
+	qStart := time.Now()
 	mag, err := EdgeMagnitudeFromChannels(features, h.cfg.Pair)
 	if err != nil {
 		return nil, err
 	}
 	qres, err := h.qualifier.QualifyEdgeMap(mag)
+	st.Qualifier += time.Since(qStart)
 	if err != nil {
 		return nil, fmt.Errorf("core: qualifier: %w", err)
 	}

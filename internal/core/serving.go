@@ -1,6 +1,9 @@
 package core
 
 import (
+	"sync/atomic"
+	"time"
+
 	"repro/internal/infer"
 	"repro/internal/tensor"
 )
@@ -71,12 +74,35 @@ func (c *BatchClassifier) SubBatch() int { return c.pool.SubBatch() }
 // result keeps the per-execution semantics of Classify — while the CNN
 // stage runs the whole sub-batch through one batched forward pass.
 func (c *BatchClassifier) ClassifyBatch(imgs []*tensor.Tensor) ([]Result, error) {
+	results, _, err := c.ClassifyBatchTimed(imgs)
+	return results, err
+}
+
+// ClassifyBatchTimed is ClassifyBatch plus the batch's per-stage wall-time
+// breakdown (reliable stage, qualifier, batched CNN), summed across the
+// workers that processed the batch's chunks — the observability layer's
+// view into where backend time goes. The timing costs a handful of
+// monotonic clock reads per chunk, nothing per image beyond stage 1's.
+func (c *BatchClassifier) ClassifyBatchTimed(imgs []*tensor.Tensor) ([]Result, StageTimes, error) {
 	results := make([]Result, len(imgs))
+	// Chunks complete on concurrent pool workers; fold their per-chunk
+	// stage times atomically.
+	var reliableNS, qualifierNS, cnnNS atomic.Int64
 	err := c.pool.RunSubExclusive(len(imgs), func(w *infer.Worker, lo, hi int) error {
-		return c.h.classifyChunk(w.Ctx, w.Engine, imgs[lo:hi], results[lo:hi])
+		var st StageTimes
+		err := c.h.classifyChunk(w.Ctx, w.Engine, imgs[lo:hi], results[lo:hi], &st)
+		reliableNS.Add(int64(st.Reliable))
+		qualifierNS.Add(int64(st.Qualifier))
+		cnnNS.Add(int64(st.CNN))
+		return err
 	})
-	if err != nil {
-		return nil, err
+	times := StageTimes{
+		Reliable:  time.Duration(reliableNS.Load()),
+		Qualifier: time.Duration(qualifierNS.Load()),
+		CNN:       time.Duration(cnnNS.Load()),
 	}
-	return results, nil
+	if err != nil {
+		return nil, times, err
+	}
+	return results, times, nil
 }

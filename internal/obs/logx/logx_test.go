@@ -1,0 +1,116 @@
+package logx
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixed(l *Logger) *Logger {
+	l.now = func() time.Time { return time.Date(2026, 8, 8, 10, 1, 2, 345e6, time.UTC) }
+	return l
+}
+
+func TestLogfmtRendering(t *testing.T) {
+	var b strings.Builder
+	l := fixed(New(&b, Info))
+	l.Info("request", "trace", "ab12-7", "status", 200, "lat_ms", 4.25,
+		"ok", true, "err", errors.New("boom boom"), "note", "has space")
+	got := b.String()
+	want := `ts=2026-08-08T10:01:02.345Z level=info msg=request trace=ab12-7 status=200 lat_ms=4.25 ok=true err="boom boom" note="has space"` + "\n"
+	if got != want {
+		t.Errorf("rendered:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestLevelsFilter(t *testing.T) {
+	var b strings.Builder
+	l := New(&b, Warn)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	lines := strings.Count(b.String(), "\n")
+	if lines != 2 {
+		t.Errorf("Warn-level logger wrote %d lines, want 2:\n%s", lines, b.String())
+	}
+	if !l.Enabled(Error) || l.Enabled(Info) {
+		t.Error("Enabled disagrees with the configured level")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{
+		"debug": Debug, "info": Info, "": Info, "WARN": Warn, "warning": Warn, "error": Error,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestWithAndBadKey(t *testing.T) {
+	var b strings.Builder
+	l := fixed(New(&b, Info)).With("component", "router")
+	l.Info("event", "dangling")
+	got := b.String()
+	if !strings.Contains(got, "component=router") {
+		t.Errorf("With field missing: %q", got)
+	}
+	if !strings.Contains(got, "!badkey=dangling") {
+		t.Errorf("odd trailing value not surfaced: %q", got)
+	}
+}
+
+func TestNilLoggerSafe(t *testing.T) {
+	var l *Logger
+	l.Info("nothing", "k", "v") // must not panic
+	l.Logf("fmt %d", 1)
+	if l.With("a", "b") != nil {
+		t.Error("nil.With should stay nil")
+	}
+	if l.Enabled(Error) {
+		t.Error("nil logger reports enabled")
+	}
+}
+
+func TestConcurrentNoInterleave(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		lines = append(lines, string(p))
+		mu.Unlock()
+		return len(p), nil
+	})
+	l := New(w, Info)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Info("e", "g", g, "i", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(lines) != 800 {
+		t.Fatalf("%d writes, want 800 (one per event)", len(lines))
+	}
+	for _, line := range lines {
+		if strings.Count(line, "\n") != 1 || !strings.HasSuffix(line, "\n") {
+			t.Fatalf("event not written as one line: %q", line)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

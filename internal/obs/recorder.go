@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Recorder is the per-process flight recorder: a fixed-size ring of the K
+// most recent request traces plus the K slowest since process start, so an
+// operator can always answer "what just happened" and "what were the worst
+// requests" from a live process without external tooling. Dumped via
+// GET /debug/requests and merged fleet-wide by the router.
+//
+// Record is on the per-request hot path and stays cheap: one mutex-guarded
+// ring store; the slowest set is only touched when the request actually
+// beats the current K-th slowest (an atomic threshold read gates the
+// second lock), so steady-state traffic pays a single uncontended lock.
+type Recorder struct {
+	k int
+
+	mu     sync.Mutex
+	recent []TraceRecord // ring buffer, len == k once warm
+	next   int           // ring cursor
+	total  uint64        // records ever seen
+
+	slowMu    sync.Mutex
+	slowest   []TraceRecord // kept sorted descending by Total
+	threshold atomic.Int64  // Total of the K-th slowest (admission gate), ns
+}
+
+// DefaultRecorderDepth is the per-process K for both the recent ring and
+// the slowest set.
+const DefaultRecorderDepth = 64
+
+// NewRecorder builds a Recorder keeping k recent and k slowest traces
+// (k <= 0 selects DefaultRecorderDepth).
+func NewRecorder(k int) *Recorder {
+	if k <= 0 {
+		k = DefaultRecorderDepth
+	}
+	return &Recorder{
+		k:       k,
+		recent:  make([]TraceRecord, 0, k),
+		slowest: make([]TraceRecord, 0, k),
+	}
+}
+
+// Record files one completed request trace. Safe for concurrent use.
+func (r *Recorder) Record(rec TraceRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.recent) < r.k {
+		r.recent = append(r.recent, rec)
+	} else {
+		r.recent[r.next] = rec
+	}
+	r.next = (r.next + 1) % r.k
+	r.total++
+	r.mu.Unlock()
+
+	// Slow path: only engage when the trace beats the K-th slowest. The
+	// threshold is 0 until the slowest set fills, so early traffic always
+	// qualifies.
+	if int64(rec.Total) <= r.threshold.Load() {
+		return
+	}
+	r.slowMu.Lock()
+	if len(r.slowest) < r.k {
+		r.slowest = append(r.slowest, rec)
+	} else if rec.Total > r.slowest[len(r.slowest)-1].Total {
+		r.slowest[len(r.slowest)-1] = rec
+	} else {
+		r.slowMu.Unlock()
+		return
+	}
+	sortSlowest(r.slowest)
+	if len(r.slowest) == r.k {
+		r.threshold.Store(int64(r.slowest[len(r.slowest)-1].Total))
+	}
+	r.slowMu.Unlock()
+}
+
+// RecorderDump is the GET /debug/requests body for one process.
+type RecorderDump struct {
+	// Depth is K: the capacity of each set.
+	Depth int `json:"depth"`
+	// Total counts every trace ever recorded (recent ring turnover).
+	Total uint64 `json:"total"`
+	// Recent is the last ≤K traces, newest first.
+	Recent []TraceRecord `json:"recent"`
+	// Slowest is the ≤K slowest traces since process start, slowest first.
+	Slowest []TraceRecord `json:"slowest"`
+}
+
+// Snapshot returns a consistent copy of both sets.
+func (r *Recorder) Snapshot() RecorderDump {
+	if r == nil {
+		return RecorderDump{}
+	}
+	r.mu.Lock()
+	recent := make([]TraceRecord, len(r.recent))
+	// Unroll the ring newest-first: the newest record sits just behind the
+	// cursor.
+	for i := range r.recent {
+		recent[i] = r.recent[(r.next-1-i+2*len(r.recent))%len(r.recent)]
+	}
+	total := r.total
+	r.mu.Unlock()
+	r.slowMu.Lock()
+	slowest := append([]TraceRecord(nil), r.slowest...)
+	r.slowMu.Unlock()
+	return RecorderDump{Depth: r.k, Total: total, Recent: recent, Slowest: slowest}
+}
+
+// MergeDumps folds per-process recorder dumps into a fleet view: recent
+// traces interleaved newest-first and the fleet-wide slowest set, each
+// truncated to the largest per-process depth. The router serves this on
+// its own GET /debug/requests.
+func MergeDumps(dumps ...RecorderDump) RecorderDump {
+	var m RecorderDump
+	for _, d := range dumps {
+		if d.Depth > m.Depth {
+			m.Depth = d.Depth
+		}
+		m.Total += d.Total
+		m.Recent = append(m.Recent, d.Recent...)
+		m.Slowest = append(m.Slowest, d.Slowest...)
+	}
+	sortRecent(m.Recent)
+	sortSlowest(m.Slowest)
+	if m.Depth > 0 {
+		if len(m.Recent) > m.Depth {
+			m.Recent = m.Recent[:m.Depth]
+		}
+		if len(m.Slowest) > m.Depth {
+			m.Slowest = m.Slowest[:m.Depth]
+		}
+	}
+	return m
+}
+
+// sortRecent orders records newest-first by start time.
+func sortRecent(recs []TraceRecord) {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Start.After(recs[j].Start) })
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func rec(id string, total time.Duration, start time.Time) TraceRecord {
+	return TraceRecord{ID: id, Start: start, Status: 200, Total: total}
+}
+
+// TestRecorderRingEviction drives 3K records through a depth-K recorder: the
+// recent ring must hold exactly the last K newest-first, and the slowest set
+// the K largest totals regardless of arrival order.
+func TestRecorderRingEviction(t *testing.T) {
+	const k = 8
+	r := NewRecorder(k)
+	base := time.Now()
+	// Totals cycle so the slowest records are scattered through the stream.
+	n := 3 * k
+	for i := 0; i < n; i++ {
+		r.Record(rec(fmt.Sprintf("r%d", i), time.Duration(i%17+1)*time.Millisecond,
+			base.Add(time.Duration(i)*time.Second)))
+	}
+	d := r.Snapshot()
+	if d.Depth != k {
+		t.Fatalf("depth %d, want %d", d.Depth, k)
+	}
+	if d.Total != uint64(n) {
+		t.Fatalf("total %d, want %d", d.Total, n)
+	}
+	if len(d.Recent) != k {
+		t.Fatalf("recent holds %d, want %d", len(d.Recent), k)
+	}
+	for i := range d.Recent {
+		want := fmt.Sprintf("r%d", n-1-i)
+		if d.Recent[i].ID != want {
+			t.Errorf("recent[%d] = %s, want %s (newest first)", i, d.Recent[i].ID, want)
+		}
+	}
+	if len(d.Slowest) != k {
+		t.Fatalf("slowest holds %d, want %d", len(d.Slowest), k)
+	}
+	for i := 1; i < len(d.Slowest); i++ {
+		if d.Slowest[i].Total > d.Slowest[i-1].Total {
+			t.Errorf("slowest not descending at %d: %v after %v",
+				i, d.Slowest[i].Total, d.Slowest[i-1].Total)
+		}
+	}
+	// Totals are 1..17ms (i=0..16) then 1..7ms (i=17..23), so the K=8
+	// slowest are 17ms down through 10ms.
+	if got, want := d.Slowest[0].Total, 17*time.Millisecond; got != want {
+		t.Errorf("slowest[0] = %v, want %v", got, want)
+	}
+	if got, want := d.Slowest[k-1].Total, 10*time.Millisecond; got != want {
+		t.Errorf("slowest[%d] = %v, want %v", k-1, got, want)
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(rec("x", time.Millisecond, time.Now())) // must not panic
+	if d := r.Snapshot(); d.Total != 0 || len(d.Recent) != 0 {
+		t.Errorf("nil recorder snapshot not empty: %+v", d)
+	}
+}
+
+// TestRecorderConcurrent hammers Record and Snapshot from many goroutines —
+// meaningful under -race.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(16)
+	var wg sync.WaitGroup
+	base := time.Now()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(rec(fmt.Sprintf("g%d-%d", g, i),
+					time.Duration(i%100)*time.Millisecond, base.Add(time.Duration(i))))
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	if d := r.Snapshot(); d.Total != 8*500 {
+		t.Errorf("total %d, want %d", d.Total, 8*500)
+	}
+}
+
+func TestMergeDumps(t *testing.T) {
+	base := time.Now()
+	a := NewRecorder(4)
+	b := NewRecorder(4)
+	for i := 0; i < 6; i++ {
+		a.Record(rec(fmt.Sprintf("a%d", i), time.Duration(i+1)*time.Millisecond,
+			base.Add(time.Duration(2*i)*time.Second)))
+		b.Record(rec(fmt.Sprintf("b%d", i), time.Duration(i+10)*time.Millisecond,
+			base.Add(time.Duration(2*i+1)*time.Second)))
+	}
+	m := MergeDumps(a.Snapshot(), b.Snapshot())
+	if m.Depth != 4 {
+		t.Fatalf("merged depth %d, want 4", m.Depth)
+	}
+	if m.Total != 12 {
+		t.Fatalf("merged total %d, want 12", m.Total)
+	}
+	if len(m.Recent) != 4 || len(m.Slowest) != 4 {
+		t.Fatalf("merged sets %d/%d, want 4/4", len(m.Recent), len(m.Slowest))
+	}
+	// b's start times interleave after a's, so the newest is b5, then a5...
+	if m.Recent[0].ID != "b5" {
+		t.Errorf("merged recent[0] = %s, want b5", m.Recent[0].ID)
+	}
+	// b's totals dominate: slowest are b5..b2 (15,14,13,12ms).
+	for i, want := range []string{"b5", "b4", "b3", "b2"} {
+		if m.Slowest[i].ID != want {
+			t.Errorf("merged slowest[%d] = %s, want %s", i, m.Slowest[i].ID, want)
+		}
+	}
+}
+
+// BenchmarkRecord measures the flight recorder's steady-state hot path: a
+// request that does NOT beat the slowest set (the common case once warm),
+// paying one uncontended mutex and an atomic threshold read. Paired with
+// BenchmarkObservePath this is the per-request observability overhead the
+// serving tier adds.
+func BenchmarkRecord(b *testing.B) {
+	r := NewRecorder(64)
+	base := time.Now()
+	// Warm the slowest set with large totals so the benchmark records never
+	// engage the slow path.
+	for i := 0; i < 64; i++ {
+		r.Record(rec("warm", time.Hour, base))
+	}
+	tr := rec("bench", time.Millisecond, base)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(tr)
+	}
+}

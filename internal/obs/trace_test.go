@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewTraceIDUniqueValid(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if !ValidTraceID(id) {
+			t.Fatalf("NewTraceID produced invalid ID %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	valid := []string{"abc123-7", "a", "A.b:c_d-e", strings.Repeat("x", 64)}
+	for _, id := range valid {
+		if !ValidTraceID(id) {
+			t.Errorf("ValidTraceID(%q) = false, want true", id)
+		}
+	}
+	invalid := []string{"", strings.Repeat("x", 65), "has space", "new\nline",
+		"quote\"", "semi;colon", "curly{brace}"}
+	for _, id := range invalid {
+		if ValidTraceID(id) {
+			t.Errorf("ValidTraceID(%q) = true, want false", id)
+		}
+	}
+}
+
+func TestSpanRoundTrip(t *testing.T) {
+	spans := []Span{
+		{Name: "admission", Dur: 512 * time.Microsecond},
+		{Name: "queue", Dur: 2 * time.Millisecond},
+		{Name: "backend", Dur: 10*time.Millisecond + 250*time.Microsecond},
+		{Name: "backend.cnn", Dur: 7 * time.Millisecond},
+	}
+	header := FormatSpans(spans)
+	got, err := ParseSpans(header)
+	if err != nil {
+		t.Fatalf("ParseSpans(%q): %v", header, err)
+	}
+	if len(got) != len(spans) {
+		t.Fatalf("round trip lost spans: %d -> %d", len(spans), len(got))
+	}
+	for i, s := range spans {
+		if got[i].Name != s.Name {
+			t.Errorf("span %d name %q, want %q", i, got[i].Name, s.Name)
+		}
+		// The header carries microsecond precision.
+		if d := got[i].Dur - s.Dur; d < -time.Microsecond || d > time.Microsecond {
+			t.Errorf("span %q duration %v, want %v (±1µs)", s.Name, got[i].Dur, s.Dur)
+		}
+	}
+}
+
+func TestParseSpansErrors(t *testing.T) {
+	for _, bad := range []string{"noduration", ";dur=1", "x;dur=abc"} {
+		if _, err := ParseSpans(bad); err == nil {
+			t.Errorf("ParseSpans(%q) succeeded, want error", bad)
+		}
+	}
+	if spans, err := ParseSpans("   "); err != nil || spans != nil {
+		t.Errorf("blank header should parse to nil, got %v, %v", spans, err)
+	}
+}
+
+func TestSumTopLevelExcludesSubSpans(t *testing.T) {
+	spans := []Span{
+		{Name: "queue", Dur: time.Millisecond},
+		{Name: "backend", Dur: 4 * time.Millisecond},
+		{Name: "backend.cnn", Dur: 3 * time.Millisecond},
+		{Name: "backend.reliable", Dur: time.Millisecond},
+	}
+	if got, want := SumTopLevel(spans), 5*time.Millisecond; got != want {
+		t.Errorf("SumTopLevel = %v, want %v (sub-spans excluded)", got, want)
+	}
+}

@@ -64,6 +64,7 @@ func HistogramBounds() []time.Duration {
 type Histogram struct {
 	counts [histBoundCount + 1]uint64
 	total  uint64
+	sum    time.Duration
 	max    time.Duration
 }
 
@@ -97,6 +98,7 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 	h.counts[histIndex(d)]++
 	h.total++
+	h.sum += d
 	if d > h.max {
 		h.max = d
 	}
@@ -113,6 +115,7 @@ func (h *Histogram) Merge(other *Histogram) {
 		h.counts[i] += c
 	}
 	h.total += other.total
+	h.sum += other.sum
 	if other.max > h.max {
 		h.max = other.max
 	}
@@ -129,6 +132,11 @@ func (h *Histogram) Count() uint64 { return h.total }
 
 // Max returns the exact largest observed sample (0 when empty).
 func (h *Histogram) Max() time.Duration { return h.max }
+
+// Sum returns the exact total of all observed samples — the numerator a
+// Prometheus histogram's _sum line wants. Like the counts it merges by
+// addition.
+func (h *Histogram) Sum() time.Duration { return h.sum }
 
 // Counts returns a copy of the bucket counts; the last entry is the
 // overflow bucket above HistogramBounds()'s final bound.
@@ -170,6 +178,7 @@ func (h *Histogram) Quantile(p float64) time.Duration {
 type histogramJSON struct {
 	Counts []uint64 `json:"counts"`
 	Total  uint64   `json:"total"`
+	SumNS  int64    `json:"sum_ns,omitempty"` // absent in snapshots from older workers
 	MaxNS  int64    `json:"max_ns"`
 }
 
@@ -182,6 +191,7 @@ func (h *Histogram) MarshalJSON() ([]byte, error) {
 	return json.Marshal(histogramJSON{
 		Counts: h.counts[:n],
 		Total:  h.total,
+		SumNS:  h.sum.Nanoseconds(),
 		MaxNS:  h.max.Nanoseconds(),
 	})
 }
@@ -195,7 +205,7 @@ func (h *Histogram) UnmarshalJSON(data []byte) error {
 	if len(w.Counts) > len(h.counts) {
 		return fmt.Errorf("serve: histogram has %d buckets, layout allows %d", len(w.Counts), len(h.counts))
 	}
-	*h = Histogram{max: time.Duration(w.MaxNS)}
+	*h = Histogram{sum: time.Duration(w.SumNS), max: time.Duration(w.MaxNS)}
 	copy(h.counts[:], w.Counts)
 	for _, c := range w.Counts {
 		h.total += c

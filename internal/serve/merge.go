@@ -26,6 +26,8 @@ import "time"
 func Merge(shards ...Stats) Stats {
 	var m Stats
 	hist := NewHistogram()
+	queueHist := NewHistogram()
+	backendHist := NewHistogram()
 	exact := true
 	var p50w, p99w float64
 	var svcW float64
@@ -59,6 +61,11 @@ func Merge(shards ...Stats) Stats {
 		} else if s.LatencyCount > 0 {
 			exact = false
 		}
+		queueHist.Merge(s.QueueHist) // nil-safe no-ops for older workers
+		backendHist.Merge(s.BackendHist)
+		m.StageReliable += s.StageReliable
+		m.StageQualifier += s.StageQualifier
+		m.StageCNN += s.StageCNN
 		p50w += float64(s.LatencyP50) * float64(s.LatencyCount)
 		p99w += float64(s.LatencyP99) * float64(s.LatencyCount)
 		if d := s.Dispatched(); s.ServiceTime > 0 && d > 0 {
@@ -71,6 +78,12 @@ func Merge(shards ...Stats) Stats {
 	}
 	if svcN > 0 {
 		m.ServiceTime = time.Duration(svcW / float64(svcN))
+	}
+	if queueHist.Count() > 0 {
+		m.QueueHist = queueHist
+	}
+	if backendHist.Count() > 0 {
+		m.BackendHist = backendHist
 	}
 	switch {
 	case exact:

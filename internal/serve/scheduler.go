@@ -52,6 +52,38 @@ type Backend interface {
 	ClassifyBatch(imgs []*tensor.Tensor) ([]core.Result, error)
 }
 
+// TimedBackend is the optional richer contract: a backend that also
+// reports the batch's per-stage wall-time breakdown. The Scheduler uses it
+// when available (core.BatchClassifier implements it), so per-stage
+// observability costs nothing to backends that don't care.
+type TimedBackend interface {
+	Backend
+	ClassifyBatchTimed(imgs []*tensor.Tensor) ([]core.Result, core.StageTimes, error)
+}
+
+// Timing is the per-request stage-timestamp breakdown SubmitTraced
+// returns: the scheduler's contribution to a request trace. Timestamps are
+// monotonic and ordered Enqueued ≤ Picked ≤ Dispatched ≤ Done; the HTTP
+// edge turns their deltas into spans (queue wait, batch assembly, backend)
+// and prepends/appends its own.
+type Timing struct {
+	// Enqueued is when Submit accepted the request into the queue.
+	Enqueued time.Time
+	// Picked is when the flusher pulled the request into a forming batch.
+	Picked time.Time
+	// Dispatched is when the request's batch was handed to the backend.
+	Dispatched time.Time
+	// Done is when the backend returned the batch.
+	Done time.Time
+	// BatchSize is how many live requests shared the batch.
+	BatchSize int
+	// Stages is the batch-level backend pipeline breakdown (zero unless
+	// the backend implements TimedBackend). Batch-level: shared by every
+	// rider of the batch, and summed per-worker wall time under a parallel
+	// pool.
+	Stages core.StageTimes
+}
+
 var (
 	// ErrQueueFull is the admission-control rejection: the bounded queue is
 	// full and the request was not accepted. The caller owns the retry
@@ -107,9 +139,10 @@ const (
 
 // request is one queued classification.
 type request struct {
-	img *tensor.Tensor
-	ctx context.Context
-	enq time.Time
+	img    *tensor.Tensor
+	ctx    context.Context
+	enq    time.Time
+	picked time.Time // set by the flusher when pulled into a batch
 	// state is the single-outcome arbiter between the flusher delivering a
 	// response and the submitter abandoning on context expiry.
 	state atomic.Int32
@@ -137,8 +170,9 @@ func (r *request) abandon(st *statsState) bool {
 }
 
 type response struct {
-	res core.Result
-	err error
+	res    core.Result
+	timing Timing
+	err    error
 }
 
 // Scheduler coalesces concurrent single-image submissions into
@@ -188,8 +222,16 @@ func (s *Scheduler) Config() Config { return s.cfg }
 // lifetime: a request that expires while still queued is dropped without
 // costing backend work.
 func (s *Scheduler) Submit(ctx context.Context, img *tensor.Tensor) (core.Result, error) {
+	res, _, err := s.SubmitTraced(ctx, img)
+	return res, err
+}
+
+// SubmitTraced is Submit plus the request's stage-timestamp breakdown —
+// the scheduler's half of a request trace. The Timing is meaningful only
+// on success; expired or rejected requests return a zero Timing.
+func (s *Scheduler) SubmitTraced(ctx context.Context, img *tensor.Tensor) (core.Result, Timing, error) {
 	if img == nil {
-		return core.Result{}, fmt.Errorf("serve: nil image")
+		return core.Result{}, Timing{}, fmt.Errorf("serve: nil image")
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -198,7 +240,7 @@ func (s *Scheduler) Submit(ctx context.Context, img *tensor.Tensor) (core.Result
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
-		return core.Result{}, ErrClosed
+		return core.Result{}, Timing{}, ErrClosed
 	}
 	select {
 	case s.queue <- r:
@@ -207,23 +249,23 @@ func (s *Scheduler) Submit(ctx context.Context, img *tensor.Tensor) (core.Result
 	default:
 		s.mu.RUnlock()
 		s.stats.rejected()
-		return core.Result{}, ErrQueueFull
+		return core.Result{}, Timing{}, ErrQueueFull
 	}
 	select {
 	case resp := <-r.done:
-		return resp.res, resp.err
+		return resp.res, resp.timing, resp.err
 	case <-ctx.Done():
 		if r.abandon(&s.stats) {
 			// Claimed: the flusher will skip this request (still queued) or
 			// discard its result (already dispatched); either way it is
 			// counted exactly once, as expired.
-			return core.Result{}, ctx.Err()
+			return core.Result{}, Timing{}, ctx.Err()
 		}
 		// Lost the race: the flusher committed a response concurrently with
 		// the context firing. Honour the committed outcome — it is the one
 		// the stats counted.
 		resp := <-r.done
-		return resp.res, resp.err
+		return resp.res, resp.timing, resp.err
 	}
 }
 
@@ -258,6 +300,7 @@ func (s *Scheduler) run() {
 		if !ok {
 			return
 		}
+		r.picked = time.Now()
 		batch := append(make([]*request, 0, s.cfg.MaxBatch), r)
 		batch = s.collect(batch)
 		s.flush(batch)
@@ -281,6 +324,7 @@ func (s *Scheduler) collect(batch []*request) []*request {
 				if !ok {
 					return batch
 				}
+				r.picked = time.Now()
 				batch = append(batch, r)
 			default:
 				return batch
@@ -296,6 +340,7 @@ func (s *Scheduler) collect(batch []*request) []*request {
 			if !ok {
 				return batch
 			}
+			r.picked = time.Now()
 			batch = append(batch, r)
 		case <-timer.C:
 			return batch
@@ -335,7 +380,14 @@ func (s *Scheduler) flush(batch []*request) {
 		imgs[i] = r.img
 	}
 	start := time.Now()
-	results, err := s.backend.ClassifyBatch(imgs)
+	var results []core.Result
+	var stages core.StageTimes
+	var err error
+	if tb, ok := s.backend.(TimedBackend); ok {
+		results, stages, err = tb.ClassifyBatchTimed(imgs)
+	} else {
+		results, err = s.backend.ClassifyBatch(imgs)
+	}
 	if err == nil && len(results) != len(imgs) {
 		err = fmt.Errorf("serve: backend returned %d results for %d images", len(results), len(imgs))
 	}
@@ -344,6 +396,7 @@ func (s *Scheduler) flush(batch []*request) {
 	// time) reflects what the backend actually saw, independent of how the
 	// per-request outcomes resolve.
 	s.stats.batchDone(len(live), now.Sub(start))
+	s.stats.stageTimes(stages.Reliable, stages.Qualifier, stages.CNN)
 	if err != nil {
 		nFailed := 0
 		for _, r := range live {
@@ -355,16 +408,24 @@ func (s *Scheduler) flush(batch []*request) {
 		s.stats.failed(nFailed)
 		return
 	}
-	lats := make([]time.Duration, 0, len(live))
+	timings := make([]Timing, 0, len(live))
 	for i, r := range live {
+		tm := Timing{
+			Enqueued:   r.enq,
+			Picked:     r.picked,
+			Dispatched: start,
+			Done:       now,
+			BatchSize:  len(live),
+			Stages:     stages,
+		}
 		if r.state.CompareAndSwap(stateDispatched, stateDelivered) {
-			r.done <- response{res: results[i]}
-			lats = append(lats, now.Sub(r.enq))
+			r.done <- response{res: results[i], timing: tm}
+			timings = append(timings, tm)
 		}
 		// A lost CAS means the submitter expired the request mid-batch: the
 		// result is discarded and its latency stays out of the histogram.
 	}
-	s.stats.completed(lats)
+	s.stats.completed(timings)
 }
 
 // Stats snapshots the scheduler counters. QueueDepth is read live; the rest

@@ -50,6 +50,21 @@ type Stats struct {
 	LatencyMax   time.Duration `json:"latency_max_ns"`
 	LatencyHist  *Histogram    `json:"latency_hist,omitempty"`
 
+	// Per-stage latency, same mergeable bucket layout as LatencyHist:
+	// QueueHist is enqueue → picked into a batch; BackendHist is the wall
+	// time of the request's batch inside the backend. Together with the
+	// stage counters below they are the substrate of the /metrics
+	// per-stage breakdown.
+	QueueHist   *Histogram `json:"queue_hist,omitempty"`
+	BackendHist *Histogram `json:"backend_hist,omitempty"`
+
+	// Cumulative backend pipeline stage time (per-worker wall time summed
+	// across the pool — can exceed wall clock under parallelism, like CPU
+	// time). Zero when the backend does not report stage timing.
+	StageReliable  time.Duration `json:"stage_reliable_ns"`
+	StageQualifier time.Duration `json:"stage_qualifier_ns"`
+	StageCNN       time.Duration `json:"stage_cnn_ns"`
+
 	// ServiceTime is a rolling (EWMA, α=1/8) estimate of backend time per
 	// image — the shard's speed, independent of queueing. The shard router
 	// uses it for heterogeneity-aware weighted placement.
@@ -104,12 +119,17 @@ type statsState struct {
 	busy        time.Duration
 	service     time.Duration // EWMA backend time per image
 	lat         *Histogram
+	queueWait   *Histogram
+	backendLat  *Histogram
+	stages      [3]time.Duration // reliable, qualifier, cnn
 }
 
 func (st *statsState) init(maxBatch int) {
 	st.start = time.Now()
 	st.batchHist = make([]uint64, maxBatch)
 	st.lat = NewHistogram()
+	st.queueWait = NewHistogram()
+	st.backendLat = NewHistogram()
 }
 
 func (st *statsState) submitted() {
@@ -159,12 +179,27 @@ func (st *statsState) failed(n int) {
 	st.mu.Unlock()
 }
 
-func (st *statsState) completed(lats []time.Duration) {
+// completed records the delivered requests of one batch: end-to-end
+// latency plus the per-stage observations (queue wait, backend wall time)
+// and the batch's backend stage breakdown.
+func (st *statsState) completed(timings []Timing) {
 	st.mu.Lock()
-	st.nCompleted += uint64(len(lats))
-	for _, l := range lats {
-		st.lat.Observe(l)
+	st.nCompleted += uint64(len(timings))
+	for _, tm := range timings {
+		st.lat.Observe(tm.Done.Sub(tm.Enqueued))
+		st.queueWait.Observe(tm.Picked.Sub(tm.Enqueued))
+		st.backendLat.Observe(tm.Done.Sub(tm.Dispatched))
 	}
+	st.mu.Unlock()
+}
+
+// stageTimes folds one batch's backend pipeline breakdown into the
+// cumulative per-stage counters.
+func (st *statsState) stageTimes(reliable, qualifier, cnn time.Duration) {
+	st.mu.Lock()
+	st.stages[0] += reliable
+	st.stages[1] += qualifier
+	st.stages[2] += cnn
 	st.mu.Unlock()
 }
 
@@ -191,6 +226,9 @@ func (st *statsState) snapshot(depth, capacity int) Stats {
 		s.MeanBatch = float64(st.nDispatched) / float64(st.nBatches)
 	}
 	s.LatencyHist = st.lat.Clone()
+	s.QueueHist = st.queueWait.Clone()
+	s.BackendHist = st.backendLat.Clone()
+	s.StageReliable, s.StageQualifier, s.StageCNN = st.stages[0], st.stages[1], st.stages[2]
 	if n := st.lat.Count(); n > 0 {
 		s.LatencyCount = int(n)
 		s.LatencyP50 = st.lat.Quantile(0.50)

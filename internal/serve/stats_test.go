@@ -58,12 +58,22 @@ func TestNearestRankSmallWindows(t *testing.T) {
 func TestSnapshotQuantiles(t *testing.T) {
 	var st statsState
 	st.init(10)
-	lats := make([]time.Duration, 10)
-	for i := range lats {
-		lats[i] = time.Duration(i+1) * time.Millisecond
+	// Timings with Done-Enqueued spanning 1..10ms; queue wait and backend
+	// time ride along as fixed fractions so the per-stage histograms fill.
+	base := time.Now()
+	timings := make([]Timing, 10)
+	for i := range timings {
+		lat := time.Duration(i+1) * time.Millisecond
+		timings[i] = Timing{
+			Enqueued:   base,
+			Picked:     base.Add(lat / 4),
+			Dispatched: base.Add(lat / 2),
+			Done:       base.Add(lat),
+			BatchSize:  len(timings),
+		}
 	}
-	st.batchDone(len(lats), 10*time.Millisecond)
-	st.completed(lats)
+	st.batchDone(len(timings), 10*time.Millisecond)
+	st.completed(timings)
 	s := st.snapshot(0, 0)
 	if s.LatencyCount != 10 {
 		t.Fatalf("latency count %d", s.LatencyCount)

@@ -53,11 +53,14 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
+	"repro/internal/obs/logx"
 	"repro/internal/serve"
 )
 
@@ -109,6 +112,17 @@ type Config struct {
 	// Logf sinks router events (breaker transitions, failovers, worker
 	// exits, respawns). Default log.Printf; set to a no-op in tests.
 	Logf func(format string, args ...any)
+	// Log is the structured logger for per-request outcome lines (one
+	// logfmt line per proxied request carrying the trace ID). Nil disables
+	// them; event logging still flows through Logf.
+	Log *logx.Logger
+	// TraceDepth is the flight recorder's K (slowest + most recent traces
+	// kept for GET /debug/requests). 0 selects obs.DefaultRecorderDepth.
+	TraceDepth int
+	// TraceSample promotes a deterministic fraction of per-request outcome
+	// lines to info level with their full router span breakdown (0 = none,
+	// 1 = all). Error outcomes are logged regardless.
+	TraceSample float64
 	// Seed feeds the power-of-two-choices randomness. Default 1.
 	Seed int64
 }
@@ -311,6 +325,10 @@ type Router struct {
 	failovers atomic.Uint64 // requests saved by the second attempt
 	errored   atomic.Uint64 // requests that surfaced a transport error
 
+	rec         *obs.Recorder // router-side flight recorder
+	sampleEvery uint64        // log 1-in-N outcome lines at info (0 = never)
+	sampleN     atomic.Uint64
+
 	stopOnce sync.Once
 	stop     chan struct{} // closes to stop the health loop and supervisors
 	probed   chan struct{} // closed after the first full probe round
@@ -354,9 +372,19 @@ func newRouter(shards []*shardState, cfg Config) *Router {
 		client: client,
 		shards: shards,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		rec:    obs.NewRecorder(cfg.TraceDepth),
 		stop:   make(chan struct{}),
 		probed: make(chan struct{}),
 		done:   make(chan struct{}),
+	}
+	if f := cfg.TraceSample; f > 0 {
+		if f > 1 {
+			f = 1
+		}
+		r.sampleEvery = uint64(1 / f)
+		if r.sampleEvery < 1 {
+			r.sampleEvery = 1
+		}
 	}
 	go r.healthLoop()
 	return r
@@ -497,41 +525,102 @@ func (r *Router) pick(not *shardState) *shardState {
 	}
 }
 
-// Mux returns the router's HTTP API: the same three endpoints a single
-// hybridnetd exposes, served by the fleet.
+// Mux returns the router's HTTP API: the same endpoints a single hybridnetd
+// exposes, served by the fleet (metrics and flight-recorder dumps are the
+// fleet-wide merge of every shard's view plus the router's own).
 func (r *Router) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/classify", r.handleClassify)
 	mux.HandleFunc("/healthz", r.handleHealthz)
 	mux.HandleFunc("/stats", r.handleStats)
+	mux.HandleFunc("/metrics", r.handleMetrics)
+	mux.HandleFunc("/debug/requests", r.handleDebugRequests)
 	return mux
+}
+
+// finishTrace files one proxied request with the router's flight recorder
+// and, when Config.Log is wired, emits the structured outcome line: errors
+// and shed/expired outcomes at warn, served requests at debug.
+func (r *Router) finishTrace(rec obs.TraceRecord, errMsg string) {
+	r.rec.Record(rec)
+	l := r.cfg.Log
+	if l == nil {
+		return
+	}
+	sampled := r.sampleEvery > 0 && r.sampleN.Add(1)%r.sampleEvery == 0
+	kvs := []any{"trace", rec.ID, "status", rec.Status,
+		"total_ms", float64(rec.Total.Microseconds()) / 1000}
+	if sh := rec.Attrs["shard"]; sh != "" {
+		kvs = append(kvs, "shard", sh)
+	}
+	if errMsg != "" {
+		kvs = append(kvs, "err", errMsg)
+	}
+	if sampled && len(rec.Spans) > 0 {
+		kvs = append(kvs, "spans", obs.FormatSpans(rec.Spans))
+	}
+	switch {
+	case rec.Status >= 400:
+		l.Warn("proxy", kvs...)
+	case sampled:
+		l.Info("proxy", kvs...)
+	default:
+		l.Debug("proxy", kvs...)
+	}
 }
 
 // handleClassify proxies one classification to a picked shard, failing over
 // to one other shard on a connection error or 503 before surfacing anything
 // to the client. The worker's response is buffered before a byte reaches
 // the client, so a mid-response worker death is retryable too.
+//
+// The request's trace ID (propagated from the client or minted here at the
+// fleet edge) rides the X-Hybridnet-Trace header to the worker and back; the
+// router's own spans (body read, per-shard attempts) go out in
+// X-Hybridnet-Router-Spans so they never collide with the worker's
+// breakdown.
 func (r *Router) handleClassify(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST only"})
 		return
+	}
+	start := time.Now()
+	trace := req.Header.Get(obs.TraceHeader)
+	if !obs.ValidTraceID(trace) {
+		trace = obs.NewTraceID()
+	}
+	w.Header().Set(obs.TraceHeader, trace)
+	finish := func(status int, shard int, spans []obs.Span, errMsg string) {
+		rec := obs.TraceRecord{
+			ID: trace, Start: start, Status: status, Total: time.Since(start), Spans: spans,
+		}
+		if shard >= 0 {
+			rec.Attrs = map[string]string{"shard": strconv.Itoa(shard)}
+		}
+		w.Header().Set(obs.RouterSpansHeader, obs.FormatSpans(spans))
+		r.finishTrace(rec, errMsg)
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 16<<20))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("read body: %v", err)})
 		return
 	}
+	spans := []obs.Span{{Name: "read", Dur: time.Since(start)}}
 	r.proxied.Add(1)
 	first := r.pick(nil)
 	if first == nil {
 		r.errored.Add(1)
+		finish(http.StatusBadGateway, -1, spans, "no shards available")
 		writeJSON(w, http.StatusBadGateway, map[string]string{
 			"error": "no shards available: every worker is permanently down",
 		})
 		return
 	}
-	status, hdr, respBody, err := r.forward(req.Context(), first, body)
+	attemptStart := time.Now()
+	status, hdr, respBody, err := r.forward(req.Context(), first, trace, body)
+	spans = append(spans, obs.Span{Name: "attempt0", Dur: time.Since(attemptStart)})
 	if err == nil && status != http.StatusServiceUnavailable {
+		finish(status, first.id, spans, "")
 		copyResponse(w, status, hdr, respBody)
 		return
 	}
@@ -539,13 +628,16 @@ func (r *Router) handleClassify(w http.ResponseWriter, req *http.Request) {
 	// the client itself aborted, in which case nobody is waiting for it.
 	if req.Context().Err() == nil {
 		if second := r.pick(first); second != nil && second != first {
-			s2, h2, b2, err2 := r.forward(req.Context(), second, body)
+			attemptStart = time.Now()
+			s2, h2, b2, err2 := r.forward(req.Context(), second, trace, body)
+			spans = append(spans, obs.Span{Name: "attempt1", Dur: time.Since(attemptStart)})
 			if err2 == nil {
 				if s2 < 500 {
 					// Only a served response counts as "saved by failover";
 					// a second 503 under fleet-wide shedding does not.
 					r.failovers.Add(1)
 				}
+				finish(s2, second.id, spans, "")
 				copyResponse(w, s2, h2, b2)
 				return
 			}
@@ -555,17 +647,20 @@ func (r *Router) handleClassify(w http.ResponseWriter, req *http.Request) {
 		if req.Context().Err() != nil {
 			// The client aborted; nobody reads this response and the shard
 			// did not fail. Keep client churn out of the error stats.
+			finish(statusClientClosedRequest, first.id, spans, "client closed request")
 			writeJSON(w, statusClientClosedRequest, map[string]string{
 				"error": "client closed request",
 			})
 			return
 		}
 		r.errored.Add(1)
+		finish(http.StatusBadGateway, first.id, spans, err.Error())
 		writeJSON(w, http.StatusBadGateway, map[string]string{
 			"error": fmt.Sprintf("shard %d unreachable: %v", first.id, err),
 		})
 		return
 	}
+	finish(status, first.id, spans, "")
 	copyResponse(w, status, hdr, respBody) // surface the original 503
 }
 
@@ -575,7 +670,7 @@ func (r *Router) handleClassify(w http.ResponseWriter, req *http.Request) {
 // but not breaker-worthy. An abort caused by the client (parent context
 // done) is no evidence against the shard, so it never touches the breaker:
 // otherwise a few impatient clients could circuit-break a healthy fleet.
-func (r *Router) forward(parent context.Context, s *shardState, body []byte) (int, http.Header, []byte, error) {
+func (r *Router) forward(parent context.Context, s *shardState, trace string, body []byte) (int, http.Header, []byte, error) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 	ctx, cancel := context.WithTimeout(parent, r.cfg.RequestTimeout)
@@ -585,6 +680,7 @@ func (r *Router) forward(parent context.Context, s *shardState, body []byte) (in
 		return 0, nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceHeader, trace)
 	resp, err := r.client.Do(req)
 	if err != nil {
 		if parent.Err() == nil {
@@ -611,7 +707,10 @@ func (r *Router) forward(parent context.Context, s *shardState, body []byte) (in
 }
 
 func copyResponse(w http.ResponseWriter, status int, hdr http.Header, body []byte) {
-	for _, k := range []string{"Content-Type", "Retry-After"} {
+	// SpansHeader carries the winning worker's stage breakdown through to
+	// the client; the trace header is already set at the router edge (same
+	// ID the worker echoed back).
+	for _, k := range []string{"Content-Type", "Retry-After", obs.SpansHeader} {
 		if v := hdr.Get(k); v != "" {
 			w.Header().Set(k, v)
 		}
@@ -737,6 +836,16 @@ type StatsReport struct {
 	Proxied   uint64        `json:"proxied"`
 	Failovers uint64        `json:"failovers"`
 	Errors    uint64        `json:"errors"`
+
+	// Fleet-level health and reliability counters, summed from the
+	// per-shard detail so dashboards (and the Prometheus view) never have
+	// to re-derive them: breaker churn, supervisor respawns, and how much
+	// of the fleet is currently routable.
+	HealthyShards   int    `json:"healthy_shards"`
+	PermanentlyDown int    `json:"permanently_down"`
+	Restarts        uint64 `json:"restarts"`
+	BreakerOpens    uint64 `json:"breaker_opens"`
+	BreakerCloses   uint64 `json:"breaker_closes"`
 }
 
 // Report fetches every shard's /stats (in parallel) and merges them.
@@ -770,20 +879,30 @@ func (r *Router) Report(ctx context.Context) StatsReport {
 	// zero-valued stats with an empty histogram, so the aggregate's shard
 	// count is the fleet size, not the live-shard count.
 	per := make([]serve.Stats, len(statuses))
+	rep := StatsReport{
+		Shards:    statuses,
+		Proxied:   r.proxied.Load(),
+		Failovers: r.failovers.Load(),
+		Errors:    r.errored.Load(),
+	}
 	for i, st := range statuses {
 		if st.Stats != nil {
 			per[i] = *st.Stats
 		} else {
 			per[i] = serve.Stats{LatencyHist: serve.NewHistogram()}
 		}
+		if st.Healthy {
+			rep.HealthyShards++
+		}
+		if st.PermanentlyDown {
+			rep.PermanentlyDown++
+		}
+		rep.Restarts += st.Restarts
+		rep.BreakerOpens += st.BreakerOpens
+		rep.BreakerCloses += st.BreakerCloses
 	}
-	return StatsReport{
-		Aggregate: serve.Merge(per...),
-		Shards:    statuses,
-		Proxied:   r.proxied.Load(),
-		Failovers: r.failovers.Load(),
-		Errors:    r.errored.Load(),
-	}
+	rep.Aggregate = serve.Merge(per...)
+	return rep
 }
 
 func (r *Router) fetchStats(ctx context.Context, s *shardState) (*serve.Stats, error) {
@@ -813,6 +932,91 @@ func (r *Router) fetchStats(ctx context.Context, s *shardState) (*serve.Stats, e
 
 func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, r.Report(req.Context()))
+}
+
+// handleMetrics renders the fleet in Prometheus text format: the
+// serve.Merge aggregate under the same hybridnet_* names a single worker
+// exposes (so dashboards work against either tier), router-level proxy
+// counters, and per-shard health/breaker/restart series keyed by a "shard"
+// label — the machine-readable form of everything /stats reports.
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	rep := r.Report(req.Context())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := obs.NewPromWriter(w)
+	obs.WriteServeStats(p, rep.Aggregate)
+	p.Counter("hybridnet_router_proxied_total", "Client requests proxied by the router (any outcome).", float64(rep.Proxied))
+	p.Counter("hybridnet_router_failovers_total", "Requests served by the second attempt after the first shard failed.", float64(rep.Failovers))
+	p.Counter("hybridnet_router_errors_total", "Requests that surfaced a transport error to the client.", float64(rep.Errors))
+	p.Gauge("hybridnet_router_shards", "Configured fleet size (healthy or not).", float64(len(rep.Shards)))
+	p.Gauge("hybridnet_router_healthy_shards", "Shards currently routable (breaker closed, not permanently down).", float64(rep.HealthyShards))
+	for _, sh := range rep.Shards {
+		l := obs.Label{Name: "shard", Value: strconv.Itoa(sh.ID)}
+		p.Gauge("hybridnet_shard_healthy", "1 when the shard is routable (breaker closed, not permanently down).", b2f(sh.Healthy), l)
+		p.Gauge("hybridnet_shard_breaker_open", "1 when the shard's circuit breaker is open (excluded from placement).", b2f(!sh.Healthy), l)
+		p.Gauge("hybridnet_shard_permanently_down", "1 when the shard's restart budget is exhausted.", b2f(sh.PermanentlyDown), l)
+		p.Counter("hybridnet_shard_breaker_opens_total", "Breaker open transitions for this shard.", float64(sh.BreakerOpens), l)
+		p.Counter("hybridnet_shard_breaker_closes_total", "Breaker close (re-admission) transitions for this shard.", float64(sh.BreakerCloses), l)
+		p.Counter("hybridnet_shard_restarts_total", "Supervisor respawns of this shard's worker process.", float64(sh.Restarts), l)
+		p.Gauge("hybridnet_shard_inflight", "Requests the router currently has in flight to this shard.", float64(sh.Inflight), l)
+		p.Gauge("hybridnet_shard_queue_depth", "Queue depth the shard last reported on /healthz.", float64(sh.QueueDepth), l)
+		p.Gauge("hybridnet_shard_weight", "Static placement capacity weight.", sh.Weight, l)
+		p.Gauge("hybridnet_shard_service_time_seconds", "Per-image service time the shard last reported (adaptive-placement signal).", sh.ServiceTime.Seconds(), l)
+	}
+	if err := p.Err(); err != nil {
+		r.cfg.Log.Warn("write metrics", "err", err)
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// handleDebugRequests serves the fleet-wide flight recorder: every shard's
+// /debug/requests dump (fetched in parallel) merged with the router's own,
+// so one curl answers "what were the slowest requests anywhere".
+func (r *Router) handleDebugRequests(w http.ResponseWriter, req *http.Request) {
+	dumps := make([]obs.RecorderDump, len(r.shards)+1)
+	dumps[len(r.shards)] = r.rec.Snapshot()
+	var wg sync.WaitGroup
+	for i, s := range r.shards {
+		wg.Add(1)
+		go func(i int, s *shardState) {
+			defer wg.Done()
+			d, err := r.fetchDump(req.Context(), s)
+			if err != nil {
+				return // an unreachable shard contributes nothing
+			}
+			dumps[i] = d
+		}(i, s)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, obs.MergeDumps(dumps...))
+}
+
+func (r *Router) fetchDump(ctx context.Context, s *shardState) (obs.RecorderDump, error) {
+	var dump obs.RecorderDump
+	if s.isDown() {
+		return dump, fmt.Errorf("shard permanently down")
+	}
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base()+"/debug/requests", nil)
+	if err != nil {
+		return dump, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return dump, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return dump, fmt.Errorf("debug/requests status %d", resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&dump)
+	return dump, err
 }
 
 func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -32,6 +33,7 @@ type testWorker struct {
 	srv *http.Server
 
 	classified atomic.Uint64
+	lastTrace  atomic.Value // last X-Hybridnet-Trace the worker received
 }
 
 func startTestWorker(t *testing.T) *testWorker {
@@ -55,6 +57,13 @@ func (w *testWorker) serveOn(ln net.Listener) {
 			time.Sleep(time.Duration(d))
 		}
 		w.classified.Add(1)
+		// Echo the propagated trace and a worker span breakdown, like the
+		// real hybridnetd does.
+		if tr := r.Header.Get(obs.TraceHeader); tr != "" {
+			w.lastTrace.Store(tr)
+			rw.Header().Set(obs.TraceHeader, tr)
+		}
+		rw.Header().Set(obs.SpansHeader, "queue;dur=0.100,backend;dur=0.500")
 		rw.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(rw, `{"class":14,"decision":"accept"}`)
 	})
@@ -80,6 +89,20 @@ func (w *testWorker) serveOn(ln net.Listener) {
 		}
 		rw.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(rw).Encode(st)
+	})
+	mux.HandleFunc("/debug/requests", func(rw http.ResponseWriter, r *http.Request) {
+		// One very slow sentinel trace per worker, so a merged fleet dump
+		// provably includes the shard-side recorders.
+		sentinel := obs.TraceRecord{
+			ID: "wk-" + w.addr, Start: time.Now().Add(-time.Minute),
+			Status: 200, Total: time.Hour,
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(rw).Encode(obs.RecorderDump{
+			Depth: 1, Total: 1,
+			Recent:  []obs.TraceRecord{sentinel},
+			Slowest: []obs.TraceRecord{sentinel},
+		})
 	})
 	srv := &http.Server{Handler: mux}
 	w.mu.Lock()
