@@ -4,9 +4,10 @@
 // endpoints a single daemon exposes.
 //
 //	POST /classify        routed to a shard: weighted power-of-two-choices on
-//	                      load per capacity (-weights, -adaptive-weights),
-//	                      round-robin on ties; one automatic failover on a dead
-//	                      or load-shedding (503) shard
+//	                      class-effective load per capacity (-weights,
+//	                      -adaptive-weights), round-robin on ties; one automatic
+//	                      failover on a dead or load-shedding (503) shard for
+//	                      guaranteed and fast requests (budget never fails over)
 //	GET  /healthz         router + fleet health (503 once no shard is routable)
 //	GET  /stats           per-shard serve.Stats plus the serve.Merge aggregate
 //	                      (fleet latency quantiles from merged histograms)
@@ -18,7 +19,9 @@
 // Every proxied /classify carries an X-Hybridnet-Trace ID (minted at this
 // edge unless the client sent one) to the worker and back, with the worker's
 // span breakdown in X-Hybridnet-Spans and the router's own attempts in
-// X-Hybridnet-Router-Spans.
+// X-Hybridnet-Router-Spans. The request's service class rides
+// X-Hybridnet-Class (absent = -default-class, resolved once at this edge
+// and forwarded in canonical form).
 //
 // The router either spawns and supervises its own workers (each started
 // with -addr 127.0.0.1:0; the bound port is read from the worker's stdout
@@ -54,6 +57,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/logx"
+	"repro/internal/serve"
 	"repro/internal/shard"
 )
 
@@ -86,6 +90,7 @@ func run(args []string) error {
 	traceSample := fs.Float64("trace-sample", 0, "fraction of proxied requests logged with their span breakdown (0 = off, 1 = all)")
 	traceDepth := fs.Int("trace-depth", obs.DefaultRecorderDepth, "flight recorder depth: K slowest + K most recent traces kept for /debug/requests")
 	logLevel := fs.String("log-level", "info", "log verbosity: debug|info|warn|error")
+	defaultClass := fs.String("default-class", "guaranteed", "service class assumed when a request has no X-Hybridnet-Class header (guaranteed|fast|budget)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,6 +99,10 @@ func run(args []string) error {
 		return err
 	}
 	logger := logx.New(os.Stderr, level)
+	defClass, err := serve.ParseClass(*defaultClass)
+	if err != nil {
+		return fmt.Errorf("-default-class: %w", err)
+	}
 
 	cfg := shard.Config{
 		HealthInterval:   *healthInterval,
@@ -106,6 +115,7 @@ func run(args []string) error {
 		Log:              logger,
 		TraceDepth:       *traceDepth,
 		TraceSample:      *traceSample,
+		DefaultClass:     defClass,
 	}
 	if *weights != "" {
 		w, err := parseWeights(*weights)

@@ -41,6 +41,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -73,7 +74,9 @@ func run(args []string) error {
 	subBatch := fs.Int("subbatch", 0, "images per worker sub-batch in the batched CNN stage (0 = batch/workers)")
 	maxBatch := fs.Int("max-batch", 8, "micro-batch flush threshold")
 	maxDelay := fs.Duration("max-delay", 2*time.Millisecond, "max wait for a batch to fill")
-	queueSize := fs.Int("queue", 64, "admission-control queue bound")
+	queueSize := fs.Int("queue", 64, "admission-control queue bound per service class")
+	classQueues := fs.String("class-queues", "", "per-class queue bound overrides, e.g. guaranteed=64,fast=128,budget=32 (unset classes inherit -queue)")
+	defaultClass := fs.String("default-class", "guaranteed", "service class for requests without an X-Hybridnet-Class header (guaranteed|fast|budget)")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-request deadline")
 	size := fs.Int("size", 32, "input size for -demo and server-side rendering")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -110,14 +113,24 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	defClass, err := serve.ParseClass(*defaultClass)
+	if err != nil {
+		return err
+	}
+	classBounds, err := serve.ParseClassInts(*classQueues)
+	if err != nil {
+		return fmt.Errorf("-class-queues: %w", err)
+	}
 	sched, err := serve.New(bc, serve.Config{
 		MaxBatch: *maxBatch, MaxDelay: *maxDelay, QueueSize: *queueSize,
+		ClassQueues: classBounds,
 	})
 	if err != nil {
 		return err
 	}
 
 	srv := newServer(sched, *timeout, *size)
+	srv.defaultClass = defClass
 	srv.log = logger
 	srv.rec = obs.NewRecorder(*traceDepth)
 	srv.sample = newSampler(*traceSample)
@@ -209,13 +222,14 @@ func (s *sampler) hit() bool {
 
 // server holds the HTTP handler state.
 type server struct {
-	sched   *serve.Scheduler
-	timeout time.Duration
-	size    int // server-side render size
-	start   time.Time
-	log     *logx.Logger  // nil-safe: tests construct a bare server
-	rec     *obs.Recorder // nil-safe flight recorder
-	sample  *sampler      // nil-safe trace-log sampler
+	sched        *serve.Scheduler
+	timeout      time.Duration
+	size         int // server-side render size
+	start        time.Time
+	defaultClass serve.Class   // class for requests without an X-Hybridnet-Class header
+	log          *logx.Logger  // nil-safe: tests construct a bare server
+	rec          *obs.Recorder // nil-safe flight recorder
+	sample       *sampler      // nil-safe trace-log sampler
 }
 
 func newServer(sched *serve.Scheduler, timeout time.Duration, size int) *server {
@@ -240,12 +254,19 @@ type classifyRequest struct {
 	Seed     int64  `json:"seed,omitempty"`
 }
 
+// classifyResponse keeps "class" for the CNN's predicted class index;
+// service_class/degraded (adjacent in the encoding, so
+// `"service_class":"budget","degraded":true` is a stable marker) report
+// the tier the request was served under and whether overload degraded a
+// budget request into the CNN-only pipeline.
 type classifyResponse struct {
 	Class          int     `json:"class"`
 	ClassName      string  `json:"class_name"`
 	Confidence     float32 `json:"confidence"`
 	Decision       string  `json:"decision"`
 	QualifierShape string  `json:"qualifier_shape"`
+	ServiceClass   string  `json:"service_class"`
+	Degraded       bool    `json:"degraded"`
 	ReliableOps    uint64  `json:"reliable_ops"`
 	ReliableRetry  uint64  `json:"reliable_retries"`
 	LatencyMS      float64 `json:"latency_ms"`
@@ -259,6 +280,16 @@ type errorResponse struct {
 // the connection before the server answered". net/http has no constant for
 // it; using it keeps client disconnects distinct from 503 load shedding.
 const statusClientClosedRequest = 499
+
+// retryAfterSecs renders a backoff duration as the whole-second string the
+// Retry-After header wants, rounding up and never below 1.
+func retryAfterSecs(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -363,20 +394,30 @@ func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
+	class := s.defaultClass
+	if v := r.Header.Get(obs.ClassHeader); v != "" {
+		class, err = serve.ParseClass(v)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+			return
+		}
+	}
 	// admission covers everything before the scheduler saw the request:
 	// body read, decode/render, deadline setup.
 	spans := []obs.Span{{Name: "admission", Dur: time.Since(start)}}
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
-	res, timing, err := s.sched.SubmitTraced(ctx, img)
+	res, timing, err := s.sched.SubmitTraced(ctx, img, class)
 	if err != nil {
 		status := http.StatusInternalServerError
 		switch {
 		case errors.Is(err, serve.ErrQueueFull), errors.Is(err, serve.ErrClosed):
 			// Real load shedding: 503 + Retry-After is reserved for these
 			// two, so the load-shedding rate in client stats means overload.
+			// The backoff is proportional: this class's queue depth × the
+			// EWMA per-image service time, rounded up to whole seconds.
 			status = http.StatusServiceUnavailable
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", retryAfterSecs(s.sched.RetryAfter(class)))
 		case errors.Is(err, context.DeadlineExceeded):
 			status = http.StatusGatewayTimeout
 		case errors.Is(err, context.Canceled):
@@ -406,6 +447,8 @@ func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		Confidence:     res.Confidence,
 		Decision:       res.Decision.String(),
 		QualifierShape: res.Qualifier.Class.String(),
+		ServiceClass:   timing.Class.String(),
+		Degraded:       timing.Degraded,
 		ReliableOps:    res.Stats.Ops,
 		ReliableRetry:  res.Stats.Retries,
 		LatencyMS:      float64(time.Since(start).Microseconds()) / 1000,
@@ -474,11 +517,16 @@ func (s *server) decodeImage(req classifyRequest) (*tensor.Tensor, error) {
 // the outside.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.sched.Stats()
+	classDepths := make(map[string]int, len(st.Classes))
+	for _, cs := range st.Classes {
+		classDepths[cs.Class] = cs.QueueDepth
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
-		"queue_depth": st.QueueDepth,
-		"service_ns":  st.ServiceTime.Nanoseconds(),
-		"uptime_s":    time.Since(s.start).Seconds(),
+		"status":             "ok",
+		"queue_depth":        st.QueueDepth,
+		"class_queue_depths": classDepths,
+		"service_ns":         st.ServiceTime.Nanoseconds(),
+		"uptime_s":           time.Since(s.start).Seconds(),
 		"build": map[string]any{
 			"gemm_kernel":  tensor.GemmKernel(),
 			"cpu_features": tensor.CPUFeatures(),

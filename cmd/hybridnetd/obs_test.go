@@ -163,7 +163,10 @@ func TestMetricsMatchesStats(t *testing.T) {
 		t.Fatal("hybridnet_request_latency_seconds missing from /metrics")
 	}
 	for _, p := range []float64{0.50, 0.99} {
-		metricsQ, err := obs.HistogramQuantile(f, p, nil)
+		// The family now carries per-class series alongside the aggregate;
+		// class="" selects the unlabeled view (PromQL treats a missing
+		// label as empty).
+		metricsQ, err := obs.HistogramQuantile(f, p, map[string]string{"class": ""})
 		if err != nil {
 			t.Fatalf("HistogramQuantile(%v): %v", p, err)
 		}

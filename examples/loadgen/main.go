@@ -19,6 +19,13 @@
 // Rejections (HTTP 503, the daemon's admission control) are counted
 // separately from successes: under overload the right outcome is a fast
 // 503, not an ever-growing queue.
+//
+// -class-mix drives a mixed service-class workload (the fractions need not
+// sum to 1; they are normalised) and reports client-side p50/p99 per class
+// plus how many responses came back degraded:
+//
+//	go run ./examples/loadgen -addr http://127.0.0.1:8090 -rps 400 \
+//	    -class-mix 'guaranteed=0.2,fast=0.5,budget=0.3'
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -47,11 +55,54 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "client request timeout")
 	router := flag.Bool("router", false, "target is hybridnet-router: report per-shard vs aggregate stats after the run")
 	traceSample := flag.Float64("trace-sample", 0, "fraction of requests to trace: parse X-Hybridnet-Spans and report the server-side per-stage breakdown (0 = off)")
+	classMix := flag.String("class-mix", "", "per-class traffic fractions, e.g. guaranteed=0.2,fast=0.5,budget=0.3 (empty = no class header, the server default applies); enables per-class latency reporting")
 	flag.Parse()
-	if err := run(*addr, *rps, *duration, *sign, *concurrency, *timeout, *router, *traceSample); err != nil {
+	if err := run(*addr, *rps, *duration, *sign, *concurrency, *timeout, *router, *traceSample, *classMix); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
+}
+
+// classPicker deterministically assigns a service class per request from the
+// -class-mix fractions. nil means the flag is off: no header is sent and
+// the server-side default class applies.
+type classPicker struct {
+	cum [serve.NumClasses]float64 // cumulative fractions, cum[last] == total
+	rng *rand.Rand
+}
+
+func newClassPicker(spec string) (*classPicker, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	mix, err := serve.ParseClassFloats(spec)
+	if err != nil {
+		return nil, err
+	}
+	p := &classPicker{rng: rand.New(rand.NewSource(1))}
+	total := 0.0
+	for i, f := range mix {
+		if f < 0 {
+			return nil, fmt.Errorf("-class-mix: negative fraction for %v", serve.Class(i))
+		}
+		total += f
+		p.cum[i] = total
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("-class-mix: fractions sum to zero")
+	}
+	return p, nil
+}
+
+// pick is called from the single scheduling goroutine only.
+func (p *classPicker) pick() serve.Class {
+	r := p.rng.Float64() * p.cum[serve.NumClasses-1]
+	for i, c := range p.cum {
+		if r < c {
+			return serve.Class(i)
+		}
+	}
+	return serve.Class(serve.NumClasses - 1)
 }
 
 // tally accumulates client-side observations. Latencies go straight into a
@@ -68,6 +119,15 @@ type tally struct {
 	shed      int
 	stages    map[string]*serve.Histogram
 	traced    int
+
+	// Per-class views, populated only when -class-mix is set: latency
+	// histogram and status counts per requested class, plus how many
+	// responses came back with "degraded":true (budget requests the server
+	// re-admitted into the fast pipeline instead of shedding).
+	byClass  bool
+	classLat [serve.NumClasses]*serve.Histogram
+	classSt  [serve.NumClasses]map[int]int
+	degraded [serve.NumClasses]int
 }
 
 // observeSpans folds one traced response's span headers into the per-stage
@@ -104,9 +164,13 @@ func (t *tally) observeSpans(hdr http.Header) {
 	}
 }
 
-func run(addr string, rps float64, duration time.Duration, sign string, concurrency int, timeout time.Duration, router bool, traceSample float64) error {
+func run(addr string, rps float64, duration time.Duration, sign string, concurrency int, timeout time.Duration, router bool, traceSample float64, classMix string) error {
 	if rps <= 0 {
 		return fmt.Errorf("rps must be > 0")
+	}
+	picker, err := newClassPicker(classMix)
+	if err != nil {
+		return err
 	}
 	client := &http.Client{Timeout: timeout}
 	// Fail fast if the daemon is not there at all.
@@ -119,6 +183,13 @@ func run(addr string, rps float64, duration time.Duration, sign string, concurre
 
 	t := &tally{latencies: serve.NewHistogram(), status: map[int]int{},
 		stages: map[string]*serve.Histogram{}}
+	if picker != nil {
+		t.byClass = true
+		for i := range t.classLat {
+			t.classLat[i] = serve.NewHistogram()
+			t.classSt[i] = map[int]int{}
+		}
+	}
 	sampleEvery := 0
 	if traceSample > 0 {
 		if traceSample > 1 {
@@ -148,34 +219,68 @@ func run(addr string, rps float64, duration time.Duration, sign string, concurre
 			t.mu.Unlock()
 			continue
 		}
+		class := serve.ClassGuaranteed
+		if picker != nil {
+			// Picked on the scheduling goroutine: the picker's rng is not
+			// concurrency-safe, and a deterministic seed keeps the mix
+			// reproducible run to run.
+			class = picker.pick()
+		}
 		wg.Add(1)
-		go func(seq int) {
+		go func(seq int, class serve.Class) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			body := fmt.Sprintf(`{"sign":%q,"seed":%d}`, sign, seq)
 			start := time.Now()
-			resp, err := client.Post(addr+"/classify", "application/json", bytes.NewReader([]byte(body)))
+			req, err := http.NewRequest(http.MethodPost, addr+"/classify", bytes.NewReader([]byte(body)))
 			if err != nil {
 				t.mu.Lock()
 				t.errors++
 				t.mu.Unlock()
 				return
 			}
-			// Drain outside the lock: body reads must not serialize the
-			// open-loop completions the tool is measuring.
-			io.Copy(io.Discard, resp.Body)
+			req.Header.Set("Content-Type", "application/json")
+			if picker != nil {
+				req.Header.Set(obs.ClassHeader, class.String())
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				t.mu.Lock()
+				t.errors++
+				t.mu.Unlock()
+				return
+			}
+			// Read outside the lock: body reads must not serialize the
+			// open-loop completions the tool is measuring. The body is only
+			// inspected (for the degraded marker) when classes are in play.
+			var wasDegraded bool
+			if t.byClass {
+				respBody, _ := io.ReadAll(resp.Body)
+				wasDegraded = bytes.Contains(respBody, []byte(`"degraded":true`))
+			} else {
+				io.Copy(io.Discard, resp.Body)
+			}
 			resp.Body.Close()
 			lat := time.Since(start)
 			t.mu.Lock()
 			t.status[resp.StatusCode]++
+			if t.byClass {
+				t.classSt[class][resp.StatusCode]++
+				if wasDegraded {
+					t.degraded[class]++
+				}
+			}
 			if resp.StatusCode == http.StatusOK {
 				t.latencies.Observe(lat)
+				if t.byClass {
+					t.classLat[class].Observe(lat)
+				}
 				if sampleEvery > 0 && seq%sampleEvery == 0 {
 					t.observeSpans(resp.Header)
 				}
 			}
 			t.mu.Unlock()
-		}(seq)
+		}(seq, class)
 	}
 	wg.Wait()
 
@@ -202,6 +307,32 @@ func run(addr string, rps float64, duration time.Duration, sign string, concurre
 		n, q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
 		q(0.99).Round(time.Microsecond), t.latencies.Max().Round(time.Microsecond))
 	fmt.Printf("success throughput: %.1f rps\n", float64(n)/duration.Seconds())
+	if t.byClass {
+		fmt.Println("per-class (client view):")
+		for _, c := range serve.Classes {
+			h := t.classLat[c]
+			ok := t.classSt[c][http.StatusOK]
+			shed503 := t.classSt[c][http.StatusServiceUnavailable]
+			sentC := 0
+			for _, n := range t.classSt[c] {
+				sentC += n
+			}
+			if sentC == 0 {
+				continue
+			}
+			line := fmt.Sprintf("  %-10s sent %-6d 200s %-6d 503s %-5d", c, sentC, ok, shed503)
+			if h.Count() > 0 {
+				line += fmt.Sprintf("  p50 %v  p99 %v  max %v",
+					h.Quantile(0.50).Round(time.Microsecond),
+					h.Quantile(0.99).Round(time.Microsecond),
+					h.Max().Round(time.Microsecond))
+			}
+			if t.degraded[c] > 0 {
+				line += fmt.Sprintf("  degraded %d", t.degraded[c])
+			}
+			fmt.Println(line)
+		}
+	}
 	if t.traced > 0 {
 		// The server-side view of where sampled requests spent their time:
 		// top-level stages tile the wall clock; dotted sub-spans (backend.cnn)

@@ -308,19 +308,40 @@ func (h *HybridNetwork) classify(ctx *nn.Context, engine *reliable.Engine, img *
 // it (reliable stage, qualifier, batched CNN) — one goroutine owns a chunk
 // end to end, so plain additions suffice.
 func (h *HybridNetwork) classifyChunk(ctx *nn.Context, engine *reliable.Engine, imgs []*tensor.Tensor, results []Result, st *StageTimes) error {
+	return h.classifyChunkPipelined(ctx, engine, imgs, nil, results, st)
+}
+
+// classifyChunkPipelined is classifyChunk with a per-image pipeline
+// selection: pipes[i] == PipelineCNN skips stage 1 (no reliable execution,
+// no qualifier) for image i and routes it straight into the batched CNN.
+// Fast images run the non-reliable prefix (the layers the reliable stage
+// would have computed) as one micro-batch, then every surviving image —
+// full and fast alike — coalesces into the SAME batched CNN continuation,
+// so a mixed chunk still costs one GEMM per layer. nil pipes means
+// PipelineFull for every image.
+func (h *HybridNetwork) classifyChunkPipelined(ctx *nn.Context, engine *reliable.Engine, imgs []*tensor.Tensor, pipes []Pipeline, results []Result, st *StageTimes) error {
 	if h.cfg.Wiring != WiringParallel && h.cfg.Wiring != WiringBifurcated {
 		return fmt.Errorf("core: unknown wiring %d", int(h.cfg.Wiring))
 	}
 	if len(imgs) != len(results) {
 		return fmt.Errorf("core: classify chunk has %d images for %d results", len(imgs), len(results))
 	}
+	if pipes != nil && len(pipes) != len(imgs) {
+		return fmt.Errorf("core: classify chunk has %d pipelines for %d images", len(pipes), len(imgs))
+	}
 	if st == nil {
 		st = &StageTimes{} // timing always measured into somewhere; discarded when unwanted
 	}
-	// Stage 1: reliable execution + qualifier, per sample.
+	// Stage 1: reliable execution + qualifier, per sample — full-pipeline
+	// images only.
 	cnnIns := make([]*tensor.Tensor, 0, len(imgs))
 	idxs := make([]int, 0, len(imgs))
+	fastIdxs := make([]int, 0)
 	for i, img := range imgs {
+		if pipes != nil && pipes[i] == PipelineCNN {
+			fastIdxs = append(fastIdxs, i)
+			continue
+		}
 		engine.Bucket().Reset()
 		before := engine.Stats()
 		qBefore := st.Qualifier
@@ -340,11 +361,79 @@ func (h *HybridNetwork) classifyChunk(ctx *nn.Context, engine *reliable.Engine, 
 			idxs = append(idxs, i)
 		}
 	}
-	// Stage 2: the CNN portion, micro-batched.
+	// Stage 2: the CNN portion, micro-batched. Fast images first run the
+	// non-reliable prefix so they enter the continuation at the same layer
+	// as the reliably computed feature maps; the prefix is CNN work and is
+	// booked as such.
 	cnnStart := time.Now()
-	err := h.cnnStage(ctx, cnnIns, idxs, results)
+	err := h.fastEntries(ctx, imgs, fastIdxs, &cnnIns, &idxs)
+	if err == nil {
+		err = h.cnnStage(ctx, cnnIns, idxs, results)
+	}
 	st.CNN += time.Since(cnnStart)
 	return err
+}
+
+// fastEntries computes the CNN-stage entry tensor for every fast-pipeline
+// image and appends them (with their result indices) to cnnIns/idxs.
+// Parallel wiring: the (possibly downsampled) image itself — the CNN
+// consumes the raw input. Bifurcated wiring: the image is run through the
+// non-reliable batched prefix [0, DCNNDepth) so it arrives at the same
+// layer as the reliable stage's output; same-shaped fast images share one
+// batched prefix pass.
+func (h *HybridNetwork) fastEntries(ctx *nn.Context, imgs []*tensor.Tensor, fastIdxs []int, cnnIns *[]*tensor.Tensor, idxs *[]int) error {
+	if len(fastIdxs) == 0 {
+		return nil
+	}
+	if h.cfg.Wiring == WiringParallel {
+		for _, i := range fastIdxs {
+			in := imgs[i]
+			if h.cfg.DownsampleFactor > 1 {
+				var err error
+				in, err = BoxDownsample(in, h.cfg.DownsampleFactor)
+				if err != nil {
+					return err
+				}
+			}
+			*cnnIns = append(*cnnIns, in)
+			*idxs = append(*idxs, i)
+		}
+		return nil
+	}
+	// Bifurcated: batch the prefix across same-shaped fast images; ragged
+	// shapes each run a batch of one.
+	rest := fastIdxs
+	for len(rest) > 0 {
+		group := []*tensor.Tensor{imgs[rest[0]]}
+		groupIdxs := []int{rest[0]}
+		pending := make([]int, 0, len(rest))
+		for _, i := range rest[1:] {
+			if imgs[i].SameShape(imgs[rest[0]]) {
+				group = append(group, imgs[i])
+				groupIdxs = append(groupIdxs, i)
+			} else {
+				pending = append(pending, i)
+			}
+		}
+		batch, err := tensor.Stack(group)
+		if err != nil {
+			return err
+		}
+		out, err := h.net.ForwardBatchRange(ctx, 0, h.cfg.DCNNDepth, batch)
+		if err != nil {
+			return fmt.Errorf("core: fast prefix: %w", err)
+		}
+		for j, i := range groupIdxs {
+			fm, err := out.Sample(j)
+			if err != nil {
+				return err
+			}
+			*cnnIns = append(*cnnIns, fm)
+			*idxs = append(*idxs, i)
+		}
+		rest = pending
+	}
+	return nil
 }
 
 // reliableStage runs everything except the non-reliable CNN for one image:

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -84,13 +85,34 @@ func (c *BatchClassifier) ClassifyBatch(imgs []*tensor.Tensor) ([]Result, error)
 // view into where backend time goes. The timing costs a handful of
 // monotonic clock reads per chunk, nothing per image beyond stage 1's.
 func (c *BatchClassifier) ClassifyBatchTimed(imgs []*tensor.Tensor) ([]Result, StageTimes, error) {
+	return c.ClassifyBatchPipelined(imgs, nil)
+}
+
+// ClassifyBatchPipelined is ClassifyBatchTimed with a per-image pipeline
+// selection: pipes[i] == PipelineCNN runs image i through the batched CNN
+// only (no reliable stage, no qualifier — its Result carries a zero
+// Qualifier and safety-critical classes decide Rejected), PipelineFull
+// keeps the full hybrid semantics. nil pipes means PipelineFull for every
+// image. Mixed sub-batches coalesce: within a chunk the fast images run
+// the non-reliable prefix batched and then join the full images' feature
+// maps in one batched CNN continuation, so full-pipeline results are
+// bit-identical whatever the batch mix (the GEMM kernels are batch-width
+// independent).
+func (c *BatchClassifier) ClassifyBatchPipelined(imgs []*tensor.Tensor, pipes []Pipeline) ([]Result, StageTimes, error) {
+	if pipes != nil && len(pipes) != len(imgs) {
+		return nil, StageTimes{}, fmt.Errorf("core: %d pipelines for %d images", len(pipes), len(imgs))
+	}
 	results := make([]Result, len(imgs))
 	// Chunks complete on concurrent pool workers; fold their per-chunk
 	// stage times atomically.
 	var reliableNS, qualifierNS, cnnNS atomic.Int64
 	err := c.pool.RunSubExclusive(len(imgs), func(w *infer.Worker, lo, hi int) error {
 		var st StageTimes
-		err := c.h.classifyChunk(w.Ctx, w.Engine, imgs[lo:hi], results[lo:hi], &st)
+		var chunkPipes []Pipeline
+		if pipes != nil {
+			chunkPipes = pipes[lo:hi]
+		}
+		err := c.h.classifyChunkPipelined(w.Ctx, w.Engine, imgs[lo:hi], chunkPipes, results[lo:hi], &st)
 		reliableNS.Add(int64(st.Reliable))
 		qualifierNS.Add(int64(st.Qualifier))
 		cnnNS.Add(int64(st.CNN))

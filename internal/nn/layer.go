@@ -137,14 +137,24 @@ func (s *Sequential) ForwardBatch(ctx *Context, x *tensor.Tensor) (*tensor.Tenso
 // (inclusive) — the hybrid network's entry point for continuing a
 // micro-batch of classifications from the reliably computed DCNN outputs.
 func (s *Sequential) ForwardBatchFrom(ctx *Context, from int, x *tensor.Tensor) (*tensor.Tensor, error) {
+	return s.ForwardBatchRange(ctx, from, len(s.layers), x)
+}
+
+// ForwardBatchRange runs the batched chain over layers [from, to) — the
+// half-open prefix a fast-pipeline image runs non-reliably so it can
+// coalesce with reliably computed feature maps at layer to.
+func (s *Sequential) ForwardBatchRange(ctx *Context, from, to int, x *tensor.Tensor) (*tensor.Tensor, error) {
 	if ctx == nil {
 		return nil, fmt.Errorf("nn: batched forward needs a context")
 	}
 	if from < 0 || from > len(s.layers) {
 		return nil, fmt.Errorf("nn: forward-from index %d out of range [0,%d]", from, len(s.layers))
 	}
+	if to < from || to > len(s.layers) {
+		return nil, fmt.Errorf("nn: forward-to index %d out of range [%d,%d]", to, from, len(s.layers))
+	}
 	var err error
-	for i := from; i < len(s.layers); i++ {
+	for i := from; i < to; i++ {
 		x, err = s.layers[i].ForwardBatch(ctx, x)
 		if err != nil {
 			return nil, fmt.Errorf("nn: batched forward layer %d (%s): %w", i, s.layers[i].Name(), err)

@@ -168,33 +168,93 @@ func (p *PromWriter) BatchSizeHistogram(name, help string, batchHist []uint64, l
 // hybridnet_* metric names. Both daemons use it — the worker with its own
 // scheduler's stats, the router with the fleet's serve.Merge aggregate —
 // so a dashboard works unchanged against either tier.
+//
+// Every request counter, latency/queue-wait histogram, queue gauge and
+// stage-busy total is written twice: once unlabeled (the aggregate, the
+// pre-class series dashboards already consume) and once per service class
+// with a class="guaranteed|fast|budget" label in the same family. Both
+// views render from the same snapshot, so the per-class sums equal the
+// unlabeled totals exactly; queries should use one view or the other, not
+// sum across both. The outcome-matrix family hybridnet_requests_total
+// {class,outcome} and hybridnet_requests_degraded_total{class} exist only
+// in class-labeled form.
 func WriteServeStats(p *PromWriter, st serve.Stats, labels ...Label) {
-	p.Counter("hybridnet_requests_submitted_total", "Requests accepted into the scheduler queue.", float64(st.Submitted), labels...)
-	p.Counter("hybridnet_requests_rejected_total", "Requests shed by admission control (queue full).", float64(st.Rejected), labels...)
-	p.Counter("hybridnet_requests_expired_total", "Requests whose deadline expired while queued.", float64(st.Expired), labels...)
-	p.Counter("hybridnet_requests_expired_dispatched_total", "Requests whose deadline expired after dispatch to the backend (work wasted, result discarded).", float64(st.ExpiredDispatched), labels...)
-	p.Counter("hybridnet_requests_completed_total", "Requests classified successfully.", float64(st.Completed), labels...)
-	p.Counter("hybridnet_requests_failed_total", "Requests failed with a backend error.", float64(st.Failed), labels...)
+	// cls returns labels + class=name without aliasing the caller's slice.
+	cls := func(name string) []Label {
+		return append(labels[:len(labels):len(labels)], Label{"class", name})
+	}
+	counters := []struct {
+		name, help string
+		agg        uint64
+		per        func(serve.ClassStats) uint64
+	}{
+		{"hybridnet_requests_submitted_total", "Requests accepted into a scheduler queue.", st.Submitted, func(c serve.ClassStats) uint64 { return c.Submitted }},
+		{"hybridnet_requests_rejected_total", "Requests shed by admission control (class queue full).", st.Rejected, func(c serve.ClassStats) uint64 { return c.Rejected }},
+		{"hybridnet_requests_expired_total", "Requests whose deadline expired while queued.", st.Expired, func(c serve.ClassStats) uint64 { return c.Expired }},
+		{"hybridnet_requests_expired_dispatched_total", "Requests whose deadline expired after dispatch to the backend (work wasted, result discarded).", st.ExpiredDispatched, func(c serve.ClassStats) uint64 { return c.ExpiredDispatched }},
+		{"hybridnet_requests_completed_total", "Requests classified successfully.", st.Completed, func(c serve.ClassStats) uint64 { return c.Completed }},
+		{"hybridnet_requests_failed_total", "Requests failed with a backend error.", st.Failed, func(c serve.ClassStats) uint64 { return c.Failed }},
+	}
+	for _, c := range counters {
+		p.Counter(c.name, c.help, float64(c.agg), labels...)
+		for _, cs := range st.Classes {
+			p.Counter(c.name, c.help, float64(c.per(cs)), cls(cs.Class)...)
+		}
+	}
+	// The outcome matrix: one family, class × outcome, for per-tier SLO
+	// burn queries (e.g. rate(hybridnet_requests_total{class="guaranteed",
+	// outcome="completed"}[5m])).
+	const outcomeHelp = "Requests by service class and terminal outcome."
+	for _, cs := range st.Classes {
+		for _, o := range []struct {
+			name string
+			v    uint64
+		}{
+			{"completed", cs.Completed},
+			{"rejected", cs.Rejected},
+			{"expired", cs.Expired},
+			{"expired_dispatched", cs.ExpiredDispatched},
+			{"failed", cs.Failed},
+		} {
+			ls := append(cls(cs.Class), Label{"outcome", o.name})
+			p.Counter("hybridnet_requests_total", outcomeHelp, float64(o.v), ls...)
+		}
+		p.Counter("hybridnet_requests_degraded_total", "Budget requests re-admitted into the fast (CNN-only) pipeline instead of being shed.", float64(cs.Degraded), cls(cs.Class)...)
+	}
 	p.Counter("hybridnet_batches_total", "Backend micro-batch invocations.", float64(st.Batches), labels...)
 	p.Gauge("hybridnet_queue_depth", "Live scheduler queue depth.", float64(st.QueueDepth), labels...)
 	p.Gauge("hybridnet_queue_capacity", "Admission-control queue bound.", float64(st.QueueCap), labels...)
+	for _, cs := range st.Classes {
+		p.Gauge("hybridnet_queue_depth", "Live scheduler queue depth.", float64(cs.QueueDepth), cls(cs.Class)...)
+		p.Gauge("hybridnet_queue_capacity", "Admission-control queue bound.", float64(cs.QueueCap), cls(cs.Class)...)
+	}
 	p.Gauge("hybridnet_service_time_seconds", "Rolling EWMA of backend time per image (the adaptive-placement signal).", st.ServiceTime.Seconds(), labels...)
 	p.Counter("hybridnet_backend_busy_seconds_total", "Cumulative wall time spent inside the backend.", st.BackendBusy.Seconds(), labels...)
 	p.Gauge("hybridnet_uptime_seconds", "Scheduler uptime.", st.Uptime.Seconds(), labels...)
 	p.BatchSizeHistogram("hybridnet_batch_size", "Dispatched micro-batch sizes.", st.BatchHist, labels...)
 	p.HistogramFromServe("hybridnet_request_latency_seconds", "End-to-end request latency (enqueue to response).", st.LatencyHist, labels...)
 	p.HistogramFromServe("hybridnet_queue_wait_seconds", "Time from enqueue until the flusher picked the request into a batch.", st.QueueHist, labels...)
+	for _, cs := range st.Classes {
+		p.HistogramFromServe("hybridnet_request_latency_seconds", "End-to-end request latency (enqueue to response).", cs.LatencyHist, cls(cs.Class)...)
+		p.HistogramFromServe("hybridnet_queue_wait_seconds", "Time from enqueue until the flusher picked the request into a batch.", cs.QueueHist, cls(cs.Class)...)
+	}
 	p.HistogramFromServe("hybridnet_backend_latency_seconds", "Wall time of the request's batch inside the backend.", st.BackendHist, labels...)
+	stageHelp := "Cumulative per-worker wall time spent in each backend pipeline stage."
 	for _, stage := range []struct {
 		name string
-		d    time.Duration
+		agg  time.Duration
+		per  func(serve.ClassStats) time.Duration
 	}{
-		{"reliable", st.StageReliable},
-		{"qualifier", st.StageQualifier},
-		{"cnn", st.StageCNN},
+		{"reliable", st.StageReliable, func(c serve.ClassStats) time.Duration { return c.StageReliable }},
+		{"qualifier", st.StageQualifier, func(c serve.ClassStats) time.Duration { return c.StageQualifier }},
+		{"cnn", st.StageCNN, func(c serve.ClassStats) time.Duration { return c.StageCNN }},
 	} {
 		ls := append(labels[:len(labels):len(labels)], Label{"stage", stage.name})
-		p.Counter("hybridnet_stage_busy_seconds_total", "Cumulative per-worker wall time spent in each backend pipeline stage.", stage.d.Seconds(), ls...)
+		p.Counter("hybridnet_stage_busy_seconds_total", stageHelp, stage.agg.Seconds(), ls...)
+		for _, cs := range st.Classes {
+			lsc := append(cls(cs.Class), Label{"stage", stage.name})
+			p.Counter("hybridnet_stage_busy_seconds_total", stageHelp, stage.per(cs).Seconds(), lsc...)
+		}
 	}
 }
 

@@ -179,7 +179,7 @@ func TestMetricsQuantileMatchesStats(t *testing.T) {
 	fams := renderStats(t, st)
 	f := fams["hybridnet_request_latency_seconds"]
 	for _, p := range []float64{0.50, 0.99} {
-		metricsQ, err := HistogramQuantile(f, p, nil)
+		metricsQ, err := HistogramQuantile(f, p, map[string]string{"class": ""})
 		if err != nil {
 			t.Fatalf("HistogramQuantile(%v): %v", p, err)
 		}

@@ -35,6 +35,11 @@ const (
 	// RouterSpansHeader carries the router's own spans (placement, per-shard
 	// attempts) so they never collide with the worker's breakdown.
 	RouterSpansHeader = "X-Hybridnet-Router-Spans"
+	// ClassHeader carries the request's service class (guaranteed | fast |
+	// budget, the wire names of serve.Class) from client to router and on
+	// to the worker, alongside the trace ID. Absent means the receiving
+	// daemon's -default-class.
+	ClassHeader = "X-Hybridnet-Class"
 )
 
 // Trace IDs are "pppppppp-nnnn": an 8-hex-digit per-process random prefix

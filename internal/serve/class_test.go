@@ -1,0 +1,74 @@
+package serve
+
+import "testing"
+
+// TestClassRoundTrip pins the wire names: String and ParseClass are
+// inverses over the defined classes, the zero value is guaranteed (so
+// class-unaware callers keep full-pipeline semantics), and unknown names
+// are rejected.
+func TestClassRoundTrip(t *testing.T) {
+	if Class(0) != ClassGuaranteed {
+		t.Fatal("zero Class must be guaranteed")
+	}
+	for _, c := range Classes {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseClass(%q) = %v, %v", c.String(), got, err)
+		}
+		if !c.Valid() {
+			t.Errorf("%v not valid", c)
+		}
+	}
+	for _, bad := range []string{"", "Guaranteed", "premium", "fast "} {
+		if _, err := ParseClass(bad); err == nil {
+			t.Errorf("ParseClass(%q) accepted", bad)
+		}
+	}
+	if Class(NumClasses).Valid() {
+		t.Error("out-of-range class reported valid")
+	}
+}
+
+func TestParseClassInts(t *testing.T) {
+	got, err := ParseClassInts("guaranteed=64, fast=128 ,budget=32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := [NumClasses]int{64, 128, 32}; got != want {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	// Subsets leave unset classes zero (Config treats zero as "inherit").
+	got, err = ParseClassInts("budget=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := [NumClasses]int{ClassBudget: 5}; got != want {
+		t.Errorf("subset: got %v, want %v", got, want)
+	}
+	if got, err := ParseClassInts(""); err != nil || got != ([NumClasses]int{}) {
+		t.Errorf("empty spec: %v, %v", got, err)
+	}
+	for _, bad := range []string{"guaranteed", "premium=1", "fast=x", "fast=1;budget=2"} {
+		if _, err := ParseClassInts(bad); err == nil {
+			t.Errorf("ParseClassInts(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseClassFloats(t *testing.T) {
+	got, err := ParseClassFloats("guaranteed=0.2,fast=0.5,budget=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := [NumClasses]float64{0.2, 0.5, 0.3}; got != want {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	if got, err := ParseClassFloats(""); err != nil || got != ([NumClasses]float64{}) {
+		t.Errorf("empty spec: %v, %v", got, err)
+	}
+	for _, bad := range []string{"=1", "fast=", "fast=0.5,"} {
+		if _, err := ParseClassFloats(bad); err == nil {
+			t.Errorf("ParseClassFloats(%q) accepted", bad)
+		}
+	}
+}

@@ -23,11 +23,17 @@ import "time"
 //     quantiles. LatencyMax is the exact max either way.
 //   - ServiceTime is the dispatched-weighted mean of the shard estimates.
 //   - Uptime is the max: the fleet has been up as long as its oldest shard.
+//   - The per-class splits merge by class name under the same rules
+//     (counter sums, exact histogram merges), so fleet-level per-class
+//     sums still equal the fleet-level aggregates. Shards without a class
+//     split (older workers) contribute only to the aggregates.
 func Merge(shards ...Stats) Stats {
 	var m Stats
 	hist := NewHistogram()
 	queueHist := NewHistogram()
 	backendHist := NewHistogram()
+	classes := make(map[string]*ClassStats)
+	var classOrder []string
 	exact := true
 	var p50w, p99w float64
 	var svcW float64
@@ -44,7 +50,33 @@ func Merge(shards ...Stats) Stats {
 		m.ExpiredDispatched += s.ExpiredDispatched
 		m.Completed += s.Completed
 		m.Failed += s.Failed
+		m.Degraded += s.Degraded
 		m.Batches += s.Batches
+		for _, cs := range s.Classes {
+			agg, ok := classes[cs.Class]
+			if !ok {
+				agg = &ClassStats{Class: cs.Class, LatencyHist: NewHistogram(), QueueHist: NewHistogram()}
+				classes[cs.Class] = agg
+				classOrder = append(classOrder, cs.Class)
+			}
+			agg.Submitted += cs.Submitted
+			agg.Rejected += cs.Rejected
+			agg.Expired += cs.Expired
+			agg.ExpiredDispatched += cs.ExpiredDispatched
+			agg.Completed += cs.Completed
+			agg.Failed += cs.Failed
+			agg.Degraded += cs.Degraded
+			agg.QueueDepth += cs.QueueDepth
+			agg.QueueCap += cs.QueueCap
+			agg.StageReliable += cs.StageReliable
+			agg.StageQualifier += cs.StageQualifier
+			agg.StageCNN += cs.StageCNN
+			agg.LatencyHist.Merge(cs.LatencyHist) // nil-safe no-op
+			agg.QueueHist.Merge(cs.QueueHist)
+			if cs.LatencyMax > agg.LatencyMax {
+				agg.LatencyMax = cs.LatencyMax
+			}
+		}
 		m.BatchHist = MergeBatchHist(m.BatchHist, s.BatchHist)
 		m.QueueDepth += s.QueueDepth
 		m.QueueCap += s.QueueCap
@@ -96,6 +128,15 @@ func Merge(shards ...Stats) Stats {
 	case m.LatencyCount > 0:
 		m.LatencyP50 = time.Duration(p50w / float64(m.LatencyCount))
 		m.LatencyP99 = time.Duration(p99w / float64(m.LatencyCount))
+	}
+	for _, name := range classOrder {
+		agg := classes[name]
+		if n := agg.LatencyHist.Count(); n > 0 {
+			agg.LatencyCount = int(n)
+			agg.LatencyP50 = agg.LatencyHist.Quantile(0.50)
+			agg.LatencyP99 = agg.LatencyHist.Quantile(0.99)
+		}
+		m.Classes = append(m.Classes, *agg)
 	}
 	return m
 }

@@ -13,7 +13,10 @@ import (
 //
 // Every submitted request resolves to exactly one of Expired,
 // ExpiredDispatched, Completed or Failed, so once the queue is drained
-// Submitted equals their sum.
+// Submitted equals their sum. Every counter and histogram also splits per
+// service class in Classes; the per-class values sum to the aggregate
+// fields by construction (both are updated under the same lock from the
+// same events).
 type Stats struct {
 	// Shards is how many schedulers this snapshot covers: 1 for a
 	// Scheduler's own stats, the fleet size for a Merge aggregate
@@ -21,7 +24,7 @@ type Stats struct {
 	Shards int `json:"shards,omitempty"`
 
 	// Admission counters.
-	Submitted uint64 `json:"submitted"` // accepted into the queue
+	Submitted uint64 `json:"submitted"` // accepted into a queue
 	Rejected  uint64 `json:"rejected"`  // ErrQueueFull admissions
 	Expired   uint64 `json:"expired"`   // context expired while queued
 	// ExpiredDispatched counts requests whose context expired after their
@@ -30,6 +33,11 @@ type Stats struct {
 	ExpiredDispatched uint64 `json:"expired_dispatched"`
 	Completed         uint64 `json:"completed"` // classified successfully
 	Failed            uint64 `json:"failed"`    // failed with the batch's backend error
+	// Degraded counts budget requests re-admitted into the fast (CNN-only)
+	// pipeline because the budget queue was full. Counted exactly once, at
+	// admission; a degraded request still resolves to exactly one of the
+	// outcome counters above.
+	Degraded uint64 `json:"degraded"`
 
 	// Batching. The histogram and mean reflect what the backend saw
 	// (dispatched sizes), including riders that later expired mid-flight.
@@ -37,7 +45,7 @@ type Stats struct {
 	MeanBatch float64  `json:"mean_batch"` // dispatched images over Batches
 	BatchHist []uint64 `json:"batch_hist"` // BatchHist[i] = batches of size i+1
 
-	// Queue occupancy (live).
+	// Queue occupancy (live, summed across the class queues).
 	QueueDepth int `json:"queue_depth"`
 	QueueCap   int `json:"queue_cap"`
 
@@ -74,12 +82,66 @@ type Stats struct {
 	// uptime it gives backend utilisation.
 	BackendBusy time.Duration `json:"backend_busy_ns"`
 	Uptime      time.Duration `json:"uptime_ns"`
+
+	// Classes is the per-service-class split, in Classes order
+	// (guaranteed, fast, budget). Always length NumClasses for a live
+	// snapshot; empty only for zero-valued placeholder Stats.
+	Classes []ClassStats `json:"classes,omitempty"`
+}
+
+// ClassStats is one service class's slice of the scheduler counters. The
+// same outcome invariant holds per class: Submitted resolves to exactly
+// one of Expired, ExpiredDispatched, Completed or Failed. QueueDepth
+// counts requests waiting in this class's queue — a degraded budget
+// request occupies (and is counted in) the fast queue, while its
+// Submitted/Completed/… accounting stays under budget.
+type ClassStats struct {
+	Class             string `json:"class"`
+	Submitted         uint64 `json:"submitted"`
+	Rejected          uint64 `json:"rejected"`
+	Expired           uint64 `json:"expired"`
+	ExpiredDispatched uint64 `json:"expired_dispatched"`
+	Completed         uint64 `json:"completed"`
+	Failed            uint64 `json:"failed"`
+	Degraded          uint64 `json:"degraded"`
+
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+
+	LatencyCount int           `json:"latency_count"`
+	LatencyP50   time.Duration `json:"latency_p50_ns"`
+	LatencyP99   time.Duration `json:"latency_p99_ns"`
+	LatencyMax   time.Duration `json:"latency_max_ns"`
+	LatencyHist  *Histogram    `json:"latency_hist,omitempty"`
+	QueueHist    *Histogram    `json:"queue_hist,omitempty"`
+
+	// Per-class share of the backend stage-busy time: reliable + qualifier
+	// time is apportioned among the batch's full-pipeline riders, CNN time
+	// among all riders, by rider count. The per-class sums equal the
+	// aggregate stage counters exactly (remainders are assigned, not
+	// dropped).
+	StageReliable  time.Duration `json:"stage_reliable_ns"`
+	StageQualifier time.Duration `json:"stage_qualifier_ns"`
+	StageCNN       time.Duration `json:"stage_cnn_ns"`
 }
 
 // Dispatched is the number of images the backend has been asked to classify:
 // every terminal outcome downstream of a backend invocation.
 func (s Stats) Dispatched() uint64 {
 	return s.Completed + s.Failed + s.ExpiredDispatched
+}
+
+// Class returns the snapshot's stats for one service class (zero-valued if
+// the snapshot carries no class split, e.g. a placeholder from an
+// unreachable shard).
+func (s Stats) Class(c Class) ClassStats {
+	name := c.String()
+	for _, cs := range s.Classes {
+		if cs.Class == name {
+			return cs
+		}
+	}
+	return ClassStats{Class: name}
 }
 
 // NearestRank is the quantile rule used throughout the serving stats: the
@@ -103,7 +165,23 @@ func NearestRank(sorted []time.Duration, p float64) time.Duration {
 	return sorted[rank-1]
 }
 
-// statsState is the mutable, mutex-guarded side of Stats.
+// classState is the mutable per-class slice of statsState.
+type classState struct {
+	nSubmitted  uint64
+	nRejected   uint64
+	nExpired    uint64
+	nExpiredDis uint64
+	nCompleted  uint64
+	nFailed     uint64
+	nDegraded   uint64
+	lat         *Histogram
+	queueWait   *Histogram
+	stages      [3]time.Duration
+}
+
+// statsState is the mutable, mutex-guarded side of Stats. The aggregate
+// fields and the per-class fields are updated together under the same
+// lock, so per-class sums equal the aggregates in every snapshot.
 type statsState struct {
 	mu          sync.Mutex
 	start       time.Time
@@ -113,6 +191,7 @@ type statsState struct {
 	nExpiredDis uint64
 	nCompleted  uint64
 	nFailed     uint64
+	nDegraded   uint64
 	nBatches    uint64
 	nDispatched uint64
 	batchHist   []uint64
@@ -122,6 +201,7 @@ type statsState struct {
 	queueWait   *Histogram
 	backendLat  *Histogram
 	stages      [3]time.Duration // reliable, qualifier, cnn
+	classes     [NumClasses]classState
 }
 
 func (st *statsState) init(maxBatch int) {
@@ -130,29 +210,41 @@ func (st *statsState) init(maxBatch int) {
 	st.lat = NewHistogram()
 	st.queueWait = NewHistogram()
 	st.backendLat = NewHistogram()
+	for c := range st.classes {
+		st.classes[c].lat = NewHistogram()
+		st.classes[c].queueWait = NewHistogram()
+	}
 }
 
-func (st *statsState) submitted() {
+func (st *statsState) submitted(c Class, degraded bool) {
 	st.mu.Lock()
 	st.nSubmitted++
+	st.classes[c].nSubmitted++
+	if degraded {
+		st.nDegraded++
+		st.classes[c].nDegraded++
+	}
 	st.mu.Unlock()
 }
 
-func (st *statsState) rejected() {
+func (st *statsState) rejected(c Class) {
 	st.mu.Lock()
 	st.nRejected++
+	st.classes[c].nRejected++
 	st.mu.Unlock()
 }
 
-func (st *statsState) expired() {
+func (st *statsState) expired(c Class) {
 	st.mu.Lock()
 	st.nExpired++
+	st.classes[c].nExpired++
 	st.mu.Unlock()
 }
 
-func (st *statsState) expiredDispatched() {
+func (st *statsState) expiredDispatched(c Class) {
 	st.mu.Lock()
 	st.nExpiredDis++
+	st.classes[c].nExpiredDis++
 	st.mu.Unlock()
 }
 
@@ -173,39 +265,93 @@ func (st *statsState) batchDone(n int, busy time.Duration) {
 	st.mu.Unlock()
 }
 
-func (st *statsState) failed(n int) {
+// serviceEstimate returns the current EWMA backend time per image.
+func (st *statsState) serviceEstimate() time.Duration {
 	st.mu.Lock()
-	st.nFailed += uint64(n)
+	defer st.mu.Unlock()
+	return st.service
+}
+
+func (st *statsState) failed(byClass [NumClasses]int) {
+	st.mu.Lock()
+	for c, n := range byClass {
+		st.nFailed += uint64(n)
+		st.classes[c].nFailed += uint64(n)
+	}
 	st.mu.Unlock()
 }
 
 // completed records the delivered requests of one batch: end-to-end
 // latency plus the per-stage observations (queue wait, backend wall time)
-// and the batch's backend stage breakdown.
+// and the same observations under each request's class.
 func (st *statsState) completed(timings []Timing) {
 	st.mu.Lock()
 	st.nCompleted += uint64(len(timings))
 	for _, tm := range timings {
-		st.lat.Observe(tm.Done.Sub(tm.Enqueued))
-		st.queueWait.Observe(tm.Picked.Sub(tm.Enqueued))
+		lat := tm.Done.Sub(tm.Enqueued)
+		wait := tm.Picked.Sub(tm.Enqueued)
+		st.lat.Observe(lat)
+		st.queueWait.Observe(wait)
 		st.backendLat.Observe(tm.Done.Sub(tm.Dispatched))
+		cs := &st.classes[tm.Class]
+		cs.nCompleted++
+		cs.lat.Observe(lat)
+		cs.queueWait.Observe(wait)
 	}
 	st.mu.Unlock()
 }
 
 // stageTimes folds one batch's backend pipeline breakdown into the
-// cumulative per-stage counters.
-func (st *statsState) stageTimes(reliable, qualifier, cnn time.Duration) {
+// cumulative per-stage counters, apportioning each stage across the
+// classes that rode the batch: reliable + qualifier time among the
+// full-pipeline riders, CNN time among all riders, proportional to rider
+// count with the integer remainder assigned to the last participating
+// class — so the per-class stage sums equal the aggregates exactly.
+func (st *statsState) stageTimes(stages [3]time.Duration, fullRiders, allRiders [NumClasses]int) {
 	st.mu.Lock()
-	st.stages[0] += reliable
-	st.stages[1] += qualifier
-	st.stages[2] += cnn
+	for i := range stages {
+		st.stages[i] += stages[i]
+		riders := fullRiders
+		if i == 2 { // CNN runs for every rider
+			riders = allRiders
+		}
+		total := 0
+		for _, n := range riders {
+			total += n
+		}
+		if total == 0 || stages[i] == 0 {
+			continue
+		}
+		var assigned time.Duration
+		last := -1
+		for c, n := range riders {
+			if n > 0 {
+				last = c
+			}
+		}
+		for c, n := range riders {
+			if n == 0 {
+				continue
+			}
+			share := stages[i] * time.Duration(n) / time.Duration(total)
+			if c == last {
+				share = stages[i] - assigned
+			}
+			st.classes[c].stages[i] += share
+			assigned += share
+		}
+	}
 	st.mu.Unlock()
 }
 
-func (st *statsState) snapshot(depth, capacity int) Stats {
+func (st *statsState) snapshot(depths, caps [NumClasses]int) Stats {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	depth, capacity := 0, 0
+	for c := range depths {
+		depth += depths[c]
+		capacity += caps[c]
+	}
 	s := Stats{
 		Shards:            1,
 		Submitted:         st.nSubmitted,
@@ -214,6 +360,7 @@ func (st *statsState) snapshot(depth, capacity int) Stats {
 		ExpiredDispatched: st.nExpiredDis,
 		Completed:         st.nCompleted,
 		Failed:            st.nFailed,
+		Degraded:          st.nDegraded,
 		Batches:           st.nBatches,
 		BatchHist:         append([]uint64(nil), st.batchHist...),
 		QueueDepth:        depth,
@@ -234,6 +381,34 @@ func (st *statsState) snapshot(depth, capacity int) Stats {
 		s.LatencyP50 = st.lat.Quantile(0.50)
 		s.LatencyP99 = st.lat.Quantile(0.99)
 		s.LatencyMax = st.lat.Max()
+	}
+	s.Classes = make([]ClassStats, NumClasses)
+	for i, c := range Classes {
+		src := &st.classes[c]
+		cs := ClassStats{
+			Class:             c.String(),
+			Submitted:         src.nSubmitted,
+			Rejected:          src.nRejected,
+			Expired:           src.nExpired,
+			ExpiredDispatched: src.nExpiredDis,
+			Completed:         src.nCompleted,
+			Failed:            src.nFailed,
+			Degraded:          src.nDegraded,
+			QueueDepth:        depths[c],
+			QueueCap:          caps[c],
+			StageReliable:     src.stages[0],
+			StageQualifier:    src.stages[1],
+			StageCNN:          src.stages[2],
+		}
+		cs.LatencyHist = src.lat.Clone()
+		cs.QueueHist = src.queueWait.Clone()
+		if n := src.lat.Count(); n > 0 {
+			cs.LatencyCount = int(n)
+			cs.LatencyP50 = src.lat.Quantile(0.50)
+			cs.LatencyP99 = src.lat.Quantile(0.99)
+			cs.LatencyMax = src.lat.Max()
+		}
+		s.Classes[i] = cs
 	}
 	return s
 }

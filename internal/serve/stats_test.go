@@ -74,7 +74,7 @@ func TestSnapshotQuantiles(t *testing.T) {
 	}
 	st.batchDone(len(timings), 10*time.Millisecond)
 	st.completed(timings)
-	s := st.snapshot(0, 0)
+	s := st.snapshot([NumClasses]int{}, [NumClasses]int{})
 	if s.LatencyCount != 10 {
 		t.Fatalf("latency count %d", s.LatencyCount)
 	}

@@ -14,6 +14,13 @@
 // hardware the router equalises expected completion time rather than raw
 // queue depth. Equal scores fall back to the round-robin cursor.
 //
+// Placement is service-class aware: workers report per-class queue depths
+// on /healthz and a request's load signal counts only the backlog its
+// class actually waits behind (same-or-higher priority), so guaranteed
+// traffic routes around budget pile-ups. The class arrives on the
+// X-Hybridnet-Class header (absent = Config.DefaultClass) and is forwarded
+// to the worker in canonical form.
+//
 // # Failure handling
 //
 // Every shard is health-checked on an interval; a shard that fails
@@ -21,7 +28,10 @@
 // — taken out of placement — and re-admitted as soon as a probe succeeds
 // again. A request that hits a dead or overloaded shard (connection error
 // or 503) fails over to one other shard before the error reaches the
-// client, so losing one worker of N is invisible to clients.
+// client, so losing one worker of N is invisible to clients. Budget-class
+// requests are the exception: they never fail over — the worker already
+// degrades them instead of shedding, so a budget 503 means fleet-wide
+// saturation and the retry capacity is reserved for guaranteed and fast.
 //
 // Spawned workers are additionally supervised: when one exits, the router
 // respawns it with exponential backoff (RestartBackoff, doubling, capped at
@@ -125,6 +135,12 @@ type Config struct {
 	TraceSample float64
 	// Seed feeds the power-of-two-choices randomness. Default 1.
 	Seed int64
+	// DefaultClass is the service class assumed for requests that arrive
+	// without an X-Hybridnet-Class header. The zero value is
+	// serve.ClassGuaranteed, matching the pre-class behaviour. The router
+	// always forwards the canonical class name to the worker, so the fleet
+	// default is decided once at the edge.
+	DefaultClass serve.Class
 }
 
 // statusClientClosedRequest is the nginx-convention 499 for "client closed
@@ -186,6 +202,13 @@ type shardState struct {
 	service  atomic.Int64  // per-image service time (ns) last reported by /healthz
 	restarts atomic.Uint64 // successful supervisor respawns
 
+	// classDepth is the per-class queue depth the shard last reported on
+	// /healthz (indexed by serve.Class); hasClassDepths records whether the
+	// worker reports the split at all, so placement can fall back to the
+	// total depth against an older worker.
+	classDepth     [serve.NumClasses]atomic.Int64
+	hasClassDepths atomic.Bool
+
 	mu           sync.Mutex
 	url          string      // base URL, no trailing slash; rewritten on respawn
 	proc         *workerProc // non-nil only for spawned workers; rewritten on respawn
@@ -198,9 +221,26 @@ type shardState struct {
 	downNotified bool      // OnShardDown already fired for this outage
 }
 
-// load is the placement signal: what the router has in flight to the shard
-// plus the scheduler backlog the shard last admitted to.
+// load is the class-blind placement signal: what the router has in flight
+// to the shard plus the scheduler backlog the shard last admitted to.
 func (s *shardState) load() int64 { return s.inflight.Load() + s.depth.Load() }
+
+// classLoad is the placement signal for a request of class c: router
+// inflight plus the backlog the shard will dispatch at the same or higher
+// priority than c. A guaranteed request only competes with the guaranteed
+// queue; a budget request waits behind everything, so its effective depth
+// is the whole backlog. Workers that do not report the class split fall
+// back to the total depth.
+func (s *shardState) classLoad(c serve.Class) int64 {
+	if !s.hasClassDepths.Load() {
+		return s.load()
+	}
+	d := s.inflight.Load()
+	for i := serve.ClassGuaranteed; i <= c && i.Valid(); i++ {
+		d += s.classDepth[i].Load()
+	}
+	return d
+}
 
 func (s *shardState) base() string {
 	s.mu.Lock()
@@ -222,8 +262,19 @@ func (s *shardState) adopt(p *workerProc, url string) {
 	s.proc = p
 	s.url = url
 	s.mu.Unlock()
+	s.resetLoadSignals()
+}
+
+// resetLoadSignals clears the probe-reported load state after the shard's
+// worker is swapped out (respawn or replacement); the next probe of the new
+// process repopulates it.
+func (s *shardState) resetLoadSignals() {
 	s.depth.Store(0)
 	s.service.Store(0)
+	s.hasClassDepths.Store(false)
+	for i := range s.classDepth {
+		s.classDepth[i].Store(0)
+	}
 }
 
 func (s *shardState) isOpen() bool {
@@ -438,8 +489,7 @@ func (r *Router) ReplaceShard(id int, newURL string) error {
 	s.consecFails = 0
 	s.downNotified = false
 	s.mu.Unlock()
-	s.depth.Store(0)
-	s.service.Store(0)
+	s.resetLoadSignals()
 	r.cfg.Logf("shard: shard %d replaced: %s -> %s", id, old, nu)
 	return nil
 }
@@ -459,25 +509,28 @@ func (r *Router) WaitReady(ctx context.Context) error {
 }
 
 // score is the weighted-placement signal: expected cost of adding one more
-// request to the shard. Lower wins. withService folds in the measured
-// per-image service time — only meaningful when both compared shards have
-// an estimate, which pick decides.
-func (s *shardState) score(withService bool) float64 {
-	sc := float64(s.load()+1) / s.weight
+// request of class c to the shard. Lower wins. The load term is the
+// class-effective backlog (same-or-higher-priority queue depth), so a
+// shard drowning in budget work still looks cheap to a guaranteed request.
+// withService folds in the measured per-image service time — only
+// meaningful when both compared shards have an estimate, which pick
+// decides.
+func (s *shardState) score(c serve.Class, withService bool) float64 {
+	sc := float64(s.classLoad(c)+1) / s.weight
 	if withService {
 		sc *= float64(s.service.Load())
 	}
 	return sc
 }
 
-// pick chooses a target shard, excluding `not` (the shard a failed first
-// attempt used). Weighted power-of-two-choices between two distinct random
-// routable shards; equal scores fall back to the round-robin cursor. With
-// every breaker open the router still picks among non-permanently-down
-// shards (round-robin over what is left): a guess at a possibly-recovered
-// shard beats a guaranteed error. Returns nil only when every shard is
-// permanently down.
-func (r *Router) pick(not *shardState) *shardState {
+// pick chooses a target shard for a request of class c, excluding `not`
+// (the shard a failed first attempt used). Weighted power-of-two-choices
+// between two distinct random routable shards; equal scores fall back to
+// the round-robin cursor. With every breaker open the router still picks
+// among non-permanently-down shards (round-robin over what is left): a
+// guess at a possibly-recovered shard beats a guaranteed error. Returns
+// nil only when every shard is permanently down.
+func (r *Router) pick(not *shardState, c serve.Class) *shardState {
 	routable := make([]*shardState, 0, len(r.shards))
 	for _, s := range r.shards {
 		if s != not && s.healthy() {
@@ -514,7 +567,7 @@ func (r *Router) pick(not *shardState) *shardState {
 	// an estimate; comparing a measured shard against an unmeasured one
 	// would mix units.
 	withService := r.cfg.AdaptiveWeights && a.service.Load() > 0 && b.service.Load() > 0
-	sa, sb := a.score(withService), b.score(withService)
+	sa, sb := a.score(c, withService), b.score(c, withService)
 	switch {
 	case sa < sb:
 		return a
@@ -590,12 +643,22 @@ func (r *Router) handleClassify(w http.ResponseWriter, req *http.Request) {
 		trace = obs.NewTraceID()
 	}
 	w.Header().Set(obs.TraceHeader, trace)
+	class := r.cfg.DefaultClass
+	if h := req.Header.Get(obs.ClassHeader); h != "" {
+		c, err := serve.ParseClass(h)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		class = c
+	}
 	finish := func(status int, shard int, spans []obs.Span, errMsg string) {
 		rec := obs.TraceRecord{
 			ID: trace, Start: start, Status: status, Total: time.Since(start), Spans: spans,
+			Attrs: map[string]string{"class": class.String()},
 		}
 		if shard >= 0 {
-			rec.Attrs = map[string]string{"shard": strconv.Itoa(shard)}
+			rec.Attrs["shard"] = strconv.Itoa(shard)
 		}
 		w.Header().Set(obs.RouterSpansHeader, obs.FormatSpans(spans))
 		r.finishTrace(rec, errMsg)
@@ -607,7 +670,7 @@ func (r *Router) handleClassify(w http.ResponseWriter, req *http.Request) {
 	}
 	spans := []obs.Span{{Name: "read", Dur: time.Since(start)}}
 	r.proxied.Add(1)
-	first := r.pick(nil)
+	first := r.pick(nil, class)
 	if first == nil {
 		r.errored.Add(1)
 		finish(http.StatusBadGateway, -1, spans, "no shards available")
@@ -617,7 +680,7 @@ func (r *Router) handleClassify(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	attemptStart := time.Now()
-	status, hdr, respBody, err := r.forward(req.Context(), first, trace, body)
+	status, hdr, respBody, err := r.forward(req.Context(), first, trace, class, body)
 	spans = append(spans, obs.Span{Name: "attempt0", Dur: time.Since(attemptStart)})
 	if err == nil && status != http.StatusServiceUnavailable {
 		finish(status, first.id, spans, "")
@@ -625,11 +688,15 @@ func (r *Router) handleClassify(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	// First attempt lost to a dead or shedding shard: one failover — unless
-	// the client itself aborted, in which case nobody is waiting for it.
-	if req.Context().Err() == nil {
-		if second := r.pick(first); second != nil && second != first {
+	// the client itself aborted (nobody is waiting for the retry) or the
+	// request is budget class. Budget already has a degradation path on the
+	// worker, and a 503 from it means even the fast queue is full; burning a
+	// second attempt's capacity on the cheapest tier would steal it from the
+	// classes that pay for retries.
+	if req.Context().Err() == nil && class != serve.ClassBudget {
+		if second := r.pick(first, class); second != nil && second != first {
 			attemptStart = time.Now()
-			s2, h2, b2, err2 := r.forward(req.Context(), second, trace, body)
+			s2, h2, b2, err2 := r.forward(req.Context(), second, trace, class, body)
 			spans = append(spans, obs.Span{Name: "attempt1", Dur: time.Since(attemptStart)})
 			if err2 == nil {
 				if s2 < 500 {
@@ -670,7 +737,7 @@ func (r *Router) handleClassify(w http.ResponseWriter, req *http.Request) {
 // but not breaker-worthy. An abort caused by the client (parent context
 // done) is no evidence against the shard, so it never touches the breaker:
 // otherwise a few impatient clients could circuit-break a healthy fleet.
-func (r *Router) forward(parent context.Context, s *shardState, trace string, body []byte) (int, http.Header, []byte, error) {
+func (r *Router) forward(parent context.Context, s *shardState, trace string, class serve.Class, body []byte) (int, http.Header, []byte, error) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 	ctx, cancel := context.WithTimeout(parent, r.cfg.RequestTimeout)
@@ -681,6 +748,10 @@ func (r *Router) forward(parent context.Context, s *shardState, trace string, bo
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(obs.TraceHeader, trace)
+	// Always the canonical name, so the worker's -default-class never
+	// second-guesses the router's: the class decision is made once, at the
+	// fleet edge.
+	req.Header.Set(obs.ClassHeader, class.String())
 	resp, err := r.client.Do(req)
 	if err != nil {
 		if parent.Err() == nil {
@@ -776,8 +847,9 @@ func (r *Router) probe(s *shardState) {
 	resp, err := r.client.Do(req)
 	if err == nil {
 		var health struct {
-			QueueDepth int64 `json:"queue_depth"`
-			ServiceNS  int64 `json:"service_ns"`
+			QueueDepth       int64            `json:"queue_depth"`
+			ServiceNS        int64            `json:"service_ns"`
+			ClassQueueDepths map[string]int64 `json:"class_queue_depths"`
 		}
 		decodeErr := json.NewDecoder(resp.Body).Decode(&health)
 		io.Copy(io.Discard, resp.Body)
@@ -786,6 +858,12 @@ func (r *Router) probe(s *shardState) {
 			s.depth.Store(health.QueueDepth)
 			if health.ServiceNS > 0 {
 				s.service.Store(health.ServiceNS)
+			}
+			if health.ClassQueueDepths != nil {
+				for _, c := range serve.Classes {
+					s.classDepth[c].Store(health.ClassQueueDepths[c.String()])
+				}
+				s.hasClassDepths.Store(true)
 			}
 			if readmitted := s.recordSuccess(); readmitted {
 				r.cfg.Logf("shard: circuit CLOSED on shard %d (%s): probe succeeded", s.id, s.base())
@@ -812,11 +890,14 @@ type ShardStatus struct {
 	Weight  float64 `json:"weight"`
 	// ServiceTime is the per-image service time the shard last reported,
 	// the adaptive-placement signal.
-	ServiceTime   time.Duration `json:"service_ns"`
-	Inflight      int64         `json:"inflight"`
-	QueueDepth    int64         `json:"queue_depth"` // last /healthz report
-	BreakerOpens  uint64        `json:"breaker_opens"`
-	BreakerCloses uint64        `json:"breaker_closes"`
+	ServiceTime time.Duration `json:"service_ns"`
+	Inflight    int64         `json:"inflight"`
+	QueueDepth  int64         `json:"queue_depth"` // last /healthz report
+	// ClassQueueDepths is the per-class queue-depth split the shard last
+	// reported on /healthz (absent against a worker that predates classes).
+	ClassQueueDepths map[string]int64 `json:"class_queue_depths,omitempty"`
+	BreakerOpens     uint64           `json:"breaker_opens"`
+	BreakerCloses    uint64           `json:"breaker_closes"`
 	// Restarts counts supervisor respawns of this shard's worker process.
 	Restarts uint64 `json:"restarts"`
 	// PermanentlyDown marks a spawned shard whose restart budget is
@@ -863,6 +944,12 @@ func (r *Router) Report(ctx context.Context) StatsReport {
 				Inflight:    s.inflight.Load(), QueueDepth: s.depth.Load(),
 				Restarts:        s.restarts.Load(),
 				PermanentlyDown: s.isDown(),
+			}
+			if s.hasClassDepths.Load() {
+				st.ClassQueueDepths = make(map[string]int64, serve.NumClasses)
+				for _, c := range serve.Classes {
+					st.ClassQueueDepths[c.String()] = s.classDepth[c].Load()
+				}
 			}
 			st.BreakerOpens, st.BreakerCloses = s.breakerCounts()
 			stats, err := r.fetchStats(ctx, s)
@@ -959,6 +1046,14 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 		p.Counter("hybridnet_shard_restarts_total", "Supervisor respawns of this shard's worker process.", float64(sh.Restarts), l)
 		p.Gauge("hybridnet_shard_inflight", "Requests the router currently has in flight to this shard.", float64(sh.Inflight), l)
 		p.Gauge("hybridnet_shard_queue_depth", "Queue depth the shard last reported on /healthz.", float64(sh.QueueDepth), l)
+		for _, c := range serve.Classes {
+			d, ok := sh.ClassQueueDepths[c.String()]
+			if !ok {
+				continue
+			}
+			p.Gauge("hybridnet_shard_class_queue_depth", "Per-class queue depth the shard last reported on /healthz.",
+				float64(d), l, obs.Label{Name: "class", Value: c.String()})
+		}
 		p.Gauge("hybridnet_shard_weight", "Static placement capacity weight.", sh.Weight, l)
 		p.Gauge("hybridnet_shard_service_time_seconds", "Per-image service time the shard last reported (adaptive-placement signal).", sh.ServiceTime.Seconds(), l)
 	}
@@ -1021,6 +1116,7 @@ func (r *Router) fetchDump(ctx context.Context, s *shardState) (obs.RecorderDump
 
 func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	healthy, down := 0, 0
+	var classDepths map[string]int64
 	for _, s := range r.shards {
 		if s.healthy() {
 			healthy++
@@ -1028,10 +1124,23 @@ func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
 		if s.isDown() {
 			down++
 		}
+		if s.hasClassDepths.Load() {
+			if classDepths == nil {
+				classDepths = make(map[string]int64, serve.NumClasses)
+			}
+			for _, c := range serve.Classes {
+				classDepths[c.String()] += s.classDepth[c].Load()
+			}
+		}
 	}
 	status := http.StatusOK
 	body := map[string]any{
 		"status": "ok", "shards": len(r.shards), "healthy": healthy, "down": down,
+	}
+	if classDepths != nil {
+		// Fleet-wide per-class backlog, same shape as a worker's report, so a
+		// front tier can stack routers the way routers stack workers.
+		body["class_queue_depths"] = classDepths
 	}
 	if healthy == 0 {
 		status = http.StatusServiceUnavailable
