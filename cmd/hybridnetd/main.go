@@ -508,9 +508,10 @@ func (s *server) decodeImage(req classifyRequest) (*tensor.Tensor, error) {
 	}
 }
 
-// handleHealthz reports liveness plus the two signals the shard router
-// feeds into placement: the live queue depth (load) and the rolling
-// per-image service time (capacity, for adaptive weighting). The build
+// handleHealthz reports liveness plus the signals the shard router feeds
+// into placement: the live queue depth (load), the rolling per-image
+// service time (capacity, for adaptive weighting), and the self-computed
+// min-max advertised weight (consumed by `-placement minmax`). The build
 // block identifies the compute substrate — which GEMM kernel this binary
 // selected at init and what the host CPU offers — so a heterogeneous fleet
 // (some workers on SIMD, some on the pure-Go fallback) is diagnosable from
@@ -526,6 +527,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"queue_depth":        st.QueueDepth,
 		"class_queue_depths": classDepths,
 		"service_ns":         st.ServiceTime.Nanoseconds(),
+		"advertised_weight":  st.AdvertisedWeight,
 		"uptime_s":           time.Since(s.start).Seconds(),
 		"build": map[string]any{
 			"gemm_kernel":  tensor.GemmKernel(),

@@ -29,6 +29,7 @@ import (
 var targets = []struct{ name, pkg string }{
 	{"hybridnetd", "repro/cmd/hybridnetd"},
 	{"hybridnet-router", "repro/cmd/hybridnet-router"},
+	{"hybridnet-sim", "repro/cmd/hybridnet-sim"},
 }
 
 func main() {

@@ -26,6 +26,14 @@
 //
 //	go run ./examples/loadgen -addr http://127.0.0.1:8090 -rps 400 \
 //	    -class-mix 'guaranteed=0.2,fast=0.5,budget=0.3'
+//
+// -scenario replays a fleet-simulator arrival schedule (a builtin name
+// from internal/sim, or a scenario JSON file) against the real fleet: the
+// same seeded Poisson arrival process the simulator ran, including phase
+// changes like the overload-burst spike, so simulated and measured tails
+// line up arrival-for-arrival. It overrides -rps and -duration:
+//
+//	go run ./examples/loadgen -addr http://127.0.0.1:8090 -router -scenario overload-burst
 package main
 
 import (
@@ -44,6 +52,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/shard"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -56,11 +65,55 @@ func main() {
 	router := flag.Bool("router", false, "target is hybridnet-router: report per-shard vs aggregate stats after the run")
 	traceSample := flag.Float64("trace-sample", 0, "fraction of requests to trace: parse X-Hybridnet-Spans and report the server-side per-stage breakdown (0 = off)")
 	classMix := flag.String("class-mix", "", "per-class traffic fractions, e.g. guaranteed=0.2,fast=0.5,budget=0.3 (empty = no class header, the server default applies); enables per-class latency reporting")
+	scenario := flag.String("scenario", "", "replay a fleet-simulator arrival schedule (builtin name or scenario JSON file) instead of -rps/-duration")
 	flag.Parse()
-	if err := run(*addr, *rps, *duration, *sign, *concurrency, *timeout, *router, *traceSample, *classMix); err != nil {
+	var sc *sim.Scenario
+	if *scenario != "" {
+		loaded, err := sim.Builtin(*scenario)
+		if err != nil {
+			// Not a builtin: treat it as a scenario file.
+			loaded, err = sim.LoadScenario(*scenario)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen:", err)
+				os.Exit(1)
+			}
+		}
+		sc = &loaded
+	}
+	if err := run(*addr, *rps, *duration, *sign, *concurrency, *timeout, *router, *traceSample, *classMix, sc); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
+}
+
+// scenarioOffsets precomputes the replayed arrival times: the exact
+// arrival process the simulator ran — exponential spacing at the phase
+// rate, redrawn at phase boundaries, from the scenario's seeded stream
+// (seed+1, the simulator's arrival stream) — as offsets from the start of
+// the run.
+func scenarioOffsets(sc sim.Scenario) []time.Duration {
+	rng := rand.New(rand.NewSource(sc.Seed + 1))
+	var offs []time.Duration
+	t := time.Duration(0)
+	for t < sc.Duration {
+		rps, phaseEnd := sc.RPSAt(t)
+		if rps <= 0 {
+			t = phaseEnd
+			continue
+		}
+		gap := time.Duration(rng.ExpFloat64() / rps * float64(time.Second))
+		next := t + gap
+		if next >= sc.Duration {
+			break
+		}
+		if next > phaseEnd {
+			t = phaseEnd
+			continue
+		}
+		offs = append(offs, next)
+		t = next
+	}
+	return offs
 }
 
 // classPicker deterministically assigns a service class per request from the
@@ -164,9 +217,13 @@ func (t *tally) observeSpans(hdr http.Header) {
 	}
 }
 
-func run(addr string, rps float64, duration time.Duration, sign string, concurrency int, timeout time.Duration, router bool, traceSample float64, classMix string) error {
-	if rps <= 0 {
+func run(addr string, rps float64, duration time.Duration, sign string, concurrency int, timeout time.Duration, router bool, traceSample float64, classMix string, sc *sim.Scenario) error {
+	if sc == nil && rps <= 0 {
 		return fmt.Errorf("rps must be > 0")
+	}
+	if sc != nil {
+		// The scenario scripts the schedule; -rps/-duration don't apply.
+		duration = sc.Duration
 	}
 	picker, err := newClassPicker(classMix)
 	if err != nil {
@@ -202,12 +259,11 @@ func run(addr string, rps float64, duration time.Duration, sign string, concurre
 	}
 	sem := make(chan struct{}, concurrency)
 	var wg sync.WaitGroup
-	interval := time.Duration(float64(time.Second) / rps)
-	deadline := time.Now().Add(duration)
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
 	seq := 0
-	for now := time.Now(); now.Before(deadline); now = <-ticker.C {
+	// fire launches one request (or sheds it at the concurrency cap); it is
+	// called from the single scheduling goroutine, on whichever schedule —
+	// the fixed -rps ticker or the replayed scenario offsets — is driving.
+	fire := func() {
 		seq++
 		select {
 		case sem <- struct{}{}:
@@ -217,7 +273,7 @@ func run(addr string, rps float64, duration time.Duration, sign string, concurre
 			t.mu.Lock()
 			t.shed++
 			t.mu.Unlock()
-			continue
+			return
 		}
 		class := serve.ClassGuaranteed
 		if picker != nil {
@@ -282,13 +338,39 @@ func run(addr string, rps float64, duration time.Duration, sign string, concurre
 			t.mu.Unlock()
 		}(seq, class)
 	}
+
+	if sc != nil {
+		// Replay the simulator's arrival process in real time: sleep to
+		// each precomputed offset, then fire. Offsets are absolute from the
+		// run start so schedule drift does not accumulate.
+		start := time.Now()
+		for _, off := range scenarioOffsets(*sc) {
+			if d := time.Until(start.Add(off)); d > 0 {
+				time.Sleep(d)
+			}
+			fire()
+		}
+	} else {
+		interval := time.Duration(float64(time.Second) / rps)
+		deadline := time.Now().Add(duration)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for now := time.Now(); now.Before(deadline); now = <-ticker.C {
+			fire()
+		}
+	}
 	wg.Wait()
 
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	sent := seq - t.shed
-	fmt.Printf("offered %d requests over %v (target %.0f rps); sent %d (%.1f rps)\n",
-		seq, duration, rps, sent, float64(sent)/duration.Seconds())
+	if sc != nil {
+		fmt.Printf("scenario %s: offered %d requests over %v; sent %d (%.1f rps mean)\n",
+			sc.Name, seq, duration, sent, float64(sent)/duration.Seconds())
+	} else {
+		fmt.Printf("offered %d requests over %v (target %.0f rps); sent %d (%.1f rps)\n",
+			seq, duration, rps, sent, float64(sent)/duration.Seconds())
+	}
 	for code, n := range t.status {
 		fmt.Printf("  HTTP %d: %d\n", code, n)
 	}

@@ -152,13 +152,16 @@ func (h *Histogram) Quantile(p float64) time.Duration {
 	if h.total == 0 {
 		return 0
 	}
-	rank := uint64(math.Ceil(p * float64(h.total)))
-	if rank < 1 {
-		rank = 1
+	// Clamp in float space: converting a negative product to uint64 would
+	// wrap to a huge rank and silently report the max instead of the min.
+	fr := math.Ceil(p * float64(h.total))
+	if fr < 1 {
+		fr = 1
 	}
-	if rank > h.total {
-		rank = h.total
+	if fr > float64(h.total) {
+		fr = float64(h.total)
 	}
+	rank := uint64(fr)
 	var cum uint64
 	for i, c := range h.counts {
 		cum += c

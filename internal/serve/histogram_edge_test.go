@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantileEdges is the table of boundary behaviours the
+// quantile path promises: empty histograms report 0, a single sample is
+// every quantile, overflow-bucket samples fall back to the exact max,
+// p outside (0,1] clamps, and mid-bucket samples round up to their bucket
+// bound but never past the observed maximum.
+func TestHistogramQuantileEdges(t *testing.T) {
+	bounds := HistogramBounds()
+	lastBound := bounds[len(bounds)-1]
+	cases := []struct {
+		name    string
+		samples []time.Duration
+		p       float64
+		want    time.Duration
+	}{
+		{"empty p50", nil, 0.50, 0},
+		{"empty p1", nil, 1, 0},
+		{"single sample is p50", []time.Duration{5 * time.Millisecond}, 0.50, 5 * time.Millisecond},
+		{"single sample is p999", []time.Duration{5 * time.Millisecond}, 0.999, 5 * time.Millisecond},
+		{"single sample at q=0 clamps to rank 1", []time.Duration{5 * time.Millisecond}, 0, 5 * time.Millisecond},
+		{"q=0 clamps to the min bucket", []time.Duration{time.Microsecond, time.Second}, 0, time.Microsecond},
+		{"q<0 clamps like q=0", []time.Duration{time.Microsecond, time.Second}, -3, time.Microsecond},
+		{"q=1 is the exact max", []time.Duration{3 * time.Millisecond, 41 * time.Millisecond}, 1, 41 * time.Millisecond},
+		{"q>1 clamps to the exact max", []time.Duration{3 * time.Millisecond, 41 * time.Millisecond}, 7, 41 * time.Millisecond},
+		{"zero-duration samples report 0", []time.Duration{0, 0, 0}, 0.99, 0},
+		{"negative samples clamp to 0", []time.Duration{-time.Second}, 0.50, 0},
+		// Both samples share the single overflow bucket, so every quantile
+		// collapses onto the tracked exact max — the bucket has no interior.
+		{"overflow p50 collapses to the exact max", []time.Duration{2 * lastBound, 3 * lastBound}, 0.50, 3 * lastBound},
+		{"overflow p99 collapses to the exact max", []time.Duration{2 * lastBound, 3 * lastBound}, 0.99, 3 * lastBound},
+	}
+	for _, c := range cases {
+		h := NewHistogram()
+		for _, d := range c.samples {
+			h.Observe(d)
+		}
+		if got := h.Quantile(c.p); got != c.want {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", c.name, c.p, got, c.want)
+		}
+	}
+
+	// Mid-bucket rounding: with a larger sample present, a quantile landing
+	// on a mid-bucket sample reports that sample's bucket upper bound —
+	// at or above the true value, within the 2^(1/4) relative width.
+	h := NewHistogram()
+	h.Observe(ms(1.1)) // strictly inside a bucket
+	h.Observe(time.Second)
+	p50 := h.Quantile(0.50)
+	if p50 < ms(1.1) || p50 > ms(1.1*1.19) {
+		t.Errorf("mid-bucket p50 = %v, want within one bucket above 1.1ms", p50)
+	}
+	found := false
+	for _, b := range bounds {
+		if p50 == b {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("mid-bucket p50 %v is not a bucket bound", p50)
+	}
+
+	// The rank walk and the overflow fallback agree with Max() as samples
+	// straddle the last bound.
+	h = NewHistogram()
+	h.Observe(lastBound) // exactly on the last bound: NOT overflow
+	if got := h.Quantile(0.99); got != lastBound {
+		t.Errorf("sample on the last bound: %v, want %v", got, lastBound)
+	}
+	h.Observe(lastBound + 1) // one past: overflow bucket
+	if got := h.Quantile(1); got != lastBound+1 {
+		t.Errorf("overflow max: %v, want %v", got, lastBound+1)
+	}
+}
+
+// ms mirrors the sim package helper for fractional milliseconds.
+func ms(n float64) time.Duration { return time.Duration(n * float64(time.Millisecond)) }

@@ -301,7 +301,8 @@ type Scheduler struct {
 	notify  chan struct{}
 	drained chan struct{} // closed when the flusher has flushed everything
 
-	stats statsState
+	stats  statsState
+	weight *WeightTracker // advertised min-max placement weight
 }
 
 // New starts a Scheduler (and its flusher goroutine) over backend.
@@ -318,6 +319,7 @@ func New(backend Backend, cfg Config) (*Scheduler, error) {
 		backend: backend,
 		notify:  make(chan struct{}, 1),
 		drained: make(chan struct{}),
+		weight:  NewWeightTracker(WeightConfig{}),
 	}
 	s.stats.init(cfg.MaxBatch)
 	go s.run()
@@ -690,5 +692,16 @@ func (s *Scheduler) Stats() Stats {
 	for c := range caps {
 		caps[c] = s.cfg.ClassQueues[c]
 	}
-	return s.stats.snapshot(depths, caps)
+	st := s.stats.snapshot(depths, caps)
+	// Fold this snapshot into the min-max weight tracker: snapshots are
+	// taken at the router's probe cadence, which is exactly the update
+	// cadence the distributed policy wants (rate-limited internally).
+	st.AdvertisedWeight = s.weight.Observe(time.Now(), WeightSignals{
+		Service:    st.ServiceTime,
+		QueueDepth: st.QueueDepth,
+		QueueCap:   st.QueueCap,
+		Submitted:  st.Submitted,
+		Rejected:   st.Rejected,
+	})
+	return st
 }

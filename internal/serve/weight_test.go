@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestWeightTrackerNotAdvertisingWithoutService(t *testing.T) {
+	tr := NewWeightTracker(WeightConfig{})
+	now := time.Unix(0, 0)
+	if w := tr.Observe(now, WeightSignals{QueueDepth: 1, QueueCap: 8}); w != 0 {
+		t.Fatalf("advertised %v with no service estimate", w)
+	}
+	if tr.Weight() != 0 {
+		t.Fatalf("Weight() = %v, want 0", tr.Weight())
+	}
+	now = now.Add(time.Second)
+	if w := tr.Observe(now, WeightSignals{Service: 10 * time.Millisecond}); w <= 0 {
+		t.Fatalf("not advertising once service is known: %v", w)
+	}
+}
+
+func TestWeightTrackerPressureAdaptation(t *testing.T) {
+	tr := NewWeightTracker(WeightConfig{})
+	now := time.Unix(0, 0)
+	svc := 10 * time.Millisecond
+	base := tr.Observe(now, WeightSignals{Service: svc, QueueDepth: 0, QueueCap: 32})
+	// Idle shard (pressure < low): the factor climbs, so the advertised
+	// weight rises observation over observation until the clamp.
+	prev := base
+	for i := 0; i < 30; i++ {
+		now = now.Add(time.Second)
+		w := tr.Observe(now, WeightSignals{Service: svc, QueueDepth: 0, QueueCap: 32})
+		if w < prev {
+			t.Fatalf("idle weight fell: %v -> %v", prev, w)
+		}
+		prev = w
+	}
+	maxW := prev
+	if maxW <= base {
+		t.Fatalf("idle weight never rose above %v", base)
+	}
+	// The clamp: factor ≤ 8 means weight ≤ 8/serviceSeconds.
+	if lim := 8 / svc.Seconds(); maxW > lim+1e-9 {
+		t.Fatalf("weight %v exceeds MaxFactor bound %v", maxW, lim)
+	}
+	// Saturated shard (pressure > high): the weight collapses below where
+	// it started, down to the MinFactor bound.
+	for i := 0; i < 60; i++ {
+		now = now.Add(time.Second)
+		prev = tr.Observe(now, WeightSignals{Service: svc, QueueDepth: 30, QueueCap: 32})
+	}
+	if prev >= base {
+		t.Fatalf("saturated weight %v did not fall below baseline %v", prev, base)
+	}
+	if lim := (1.0 / 8) / svc.Seconds(); prev < lim-1e-9 {
+		t.Fatalf("weight %v below MinFactor bound %v", prev, lim)
+	}
+}
+
+func TestWeightTrackerShedRateRaisesPressure(t *testing.T) {
+	// Two trackers see the same queue but one also sheds: the shedding one
+	// must advertise less.
+	calm := NewWeightTracker(WeightConfig{})
+	shedding := NewWeightTracker(WeightConfig{})
+	now := time.Unix(0, 0)
+	svc := 5 * time.Millisecond
+	var sub, rej uint64
+	var wCalm, wShed float64
+	for i := 0; i < 20; i++ {
+		now = now.Add(time.Second)
+		sub += 100
+		rej += 30 // 23% of offered load shed
+		wCalm = calm.Observe(now, WeightSignals{Service: svc, QueueDepth: 8, QueueCap: 32, Submitted: sub})
+		wShed = shedding.Observe(now, WeightSignals{Service: svc, QueueDepth: 8, QueueCap: 32, Submitted: sub, Rejected: rej})
+	}
+	if wShed >= wCalm {
+		t.Fatalf("shedding shard advertises %v ≥ calm shard %v", wShed, wCalm)
+	}
+}
+
+func TestWeightTrackerRateLimit(t *testing.T) {
+	tr := NewWeightTracker(WeightConfig{})
+	now := time.Unix(0, 0)
+	w1 := tr.Observe(now, WeightSignals{Service: time.Millisecond, QueueDepth: 0, QueueCap: 32})
+	// Observations inside MinInterval return the same weight: the factor
+	// must not compound on snapshot frequency.
+	for i := 0; i < 10; i++ {
+		now = now.Add(time.Millisecond)
+		if w := tr.Observe(now, WeightSignals{Service: time.Millisecond, QueueDepth: 0, QueueCap: 32}); w != w1 {
+			t.Fatalf("weight moved %v -> %v within MinInterval", w1, w)
+		}
+	}
+	now = now.Add(200 * time.Millisecond)
+	if w := tr.Observe(now, WeightSignals{Service: time.Millisecond, QueueDepth: 0, QueueCap: 32}); w == w1 {
+		t.Fatal("weight frozen after MinInterval elapsed")
+	}
+}
+
+func TestSchedulerStatsAdvertisesWeight(t *testing.T) {
+	backend := newFakeBackend(nil)
+	s, err := New(backend, Config{MaxBatch: 4, MaxDelay: 0, QueueSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any batch completes there is no service estimate, so the
+	// scheduler must not advertise.
+	if st := s.Stats(); st.AdvertisedWeight != 0 {
+		t.Fatalf("advertised %v before first batch", st.AdvertisedWeight)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := s.Submit(context.Background(), backend.img(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The tracker rate-limits to one update per 100ms; keep snapshotting
+	// until a post-batch observation lands.
+	waitFor(t, "advertised weight", func() bool {
+		return s.Stats().AdvertisedWeight > 0
+	})
+	shutdownOK(t, s)
+}

@@ -5,14 +5,20 @@
 //
 // # Placement
 //
-// Placement is weighted power-of-two-choices: two distinct routable shards
-// are sampled and the one with the lower load-per-capacity score wins. A
-// shard's load is what the router has in flight to it plus the queue depth
-// it last reported on /healthz; capacity is a static per-shard weight
-// (Config.Weights) optionally scaled by the rolling per-image service time
-// each worker exports (Config.AdaptiveWeights), so on heterogeneous
-// hardware the router equalises expected completion time rather than raw
-// queue depth. Equal scores fall back to the round-robin cursor.
+// Placement is power-of-two-choices behind a pluggable policy (the Placer
+// interface, selected by Config.Placement): two distinct routable shards
+// are sampled and the one with the lower score wins. A shard's load is
+// what the router has in flight to it plus the queue depth it last
+// reported on /healthz. The default weighted-p2c policy scores load per
+// static capacity weight (Config.Weights), optionally scaled by the
+// rolling per-image service time each worker exports
+// (Config.AdaptiveWeights), so on heterogeneous hardware the router
+// equalises expected completion time rather than raw queue depth. The
+// minmax policy goes further: each worker adapts its own advertised
+// weight online from local pressure (serve.WeightTracker) and the router
+// scores load per advertised service rate — decentralized min-max
+// placement with zero added coordination. Equal scores fall back to the
+// round-robin cursor.
 //
 // Placement is service-class aware: workers report per-class queue depths
 // on /healthz and a request's load signal counts only the backlog its
@@ -60,7 +66,7 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"math/rand"
+	"math"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -96,6 +102,11 @@ type Config struct {
 	// with equal static weights. Shards that have not reported an estimate
 	// yet are compared on load/weight alone.
 	AdaptiveWeights bool
+	// Placement selects the placement policy: "p2c", "weighted-p2c"
+	// (default) or "minmax" — see the Placement constants and Placer. The
+	// empty string means weighted-p2c, which with nil Weights and
+	// AdaptiveWeights off behaves exactly like plain p2c.
+	Placement string
 	// RestartMax bounds consecutive restart attempts for a spawned worker
 	// before its shard is marked permanently down. A run longer than
 	// 10×RestartBackoff resets the budget. 0 selects the default (5);
@@ -200,6 +211,7 @@ type shardState struct {
 	inflight atomic.Int64  // router-side requests currently proxied to this shard
 	depth    atomic.Int64  // queue depth last reported by /healthz
 	service  atomic.Int64  // per-image service time (ns) last reported by /healthz
+	advW     atomic.Uint64 // min-max advertised weight (float64 bits) last reported by /healthz
 	restarts atomic.Uint64 // successful supervisor respawns
 
 	// classDepth is the per-class queue depth the shard last reported on
@@ -271,11 +283,17 @@ func (s *shardState) adopt(p *workerProc, url string) {
 func (s *shardState) resetLoadSignals() {
 	s.depth.Store(0)
 	s.service.Store(0)
+	s.setAdvWeight(0)
 	s.hasClassDepths.Store(false)
 	for i := range s.classDepth {
 		s.classDepth[i].Store(0)
 	}
 }
+
+// advWeight/setAdvWeight hold the float64 advertised weight in an atomic
+// word, matching the other probe-updated load signals.
+func (s *shardState) advWeight() float64     { return math.Float64frombits(s.advW.Load()) }
+func (s *shardState) setAdvWeight(w float64) { s.advW.Store(math.Float64bits(w)) }
 
 func (s *shardState) isOpen() bool {
 	s.mu.Lock()
@@ -368,9 +386,7 @@ type Router struct {
 	binArgs []string
 	superWG sync.WaitGroup
 
-	rr    atomic.Uint64 // round-robin cursor
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	placer Placer // placement policy (Config.Placement)
 
 	proxied   atomic.Uint64 // client requests proxied (any outcome)
 	failovers atomic.Uint64 // requests saved by the second attempt
@@ -393,6 +409,9 @@ func New(urls []string, cfg Config) (*Router, error) {
 		return nil, fmt.Errorf("shard: router needs at least one worker URL")
 	}
 	if err := validateWeights(cfg.Weights, len(urls)); err != nil {
+		return nil, err
+	}
+	if _, err := NewPlacer(cfg.Placement, PlacerOptions{}); err != nil {
 		return nil, err
 	}
 	shards := make([]*shardState, len(urls))
@@ -418,11 +437,17 @@ func newRouter(shards []*shardState, cfg Config) *Router {
 			s.weight = cfg.Weights[i]
 		}
 	}
+	// Placement was validated by New/Spawn; an error here is internal
+	// misuse of newRouter, so fail loud.
+	placer, err := NewPlacer(cfg.Placement, PlacerOptions{Seed: cfg.Seed, AdaptiveWeights: cfg.AdaptiveWeights})
+	if err != nil {
+		panic(err)
+	}
 	r := &Router{
 		cfg:    cfg,
 		client: client,
 		shards: shards,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		placer: placer,
 		rec:    obs.NewRecorder(cfg.TraceDepth),
 		stop:   make(chan struct{}),
 		probed: make(chan struct{}),
@@ -508,28 +533,28 @@ func (r *Router) WaitReady(ctx context.Context) error {
 	}
 }
 
-// score is the weighted-placement signal: expected cost of adding one more
-// request of class c to the shard. Lower wins. The load term is the
-// class-effective backlog (same-or-higher-priority queue depth), so a
-// shard drowning in budget work still looks cheap to a guaranteed request.
-// withService folds in the measured per-image service time — only
-// meaningful when both compared shards have an estimate, which pick
-// decides.
-func (s *shardState) score(c serve.Class, withService bool) float64 {
-	sc := float64(s.classLoad(c)+1) / s.weight
-	if withService {
-		sc *= float64(s.service.Load())
+// candidate snapshots one shard's placement signals for a request of class
+// c. The load term is the class-effective backlog (same-or-higher-priority
+// queue depth), so a shard drowning in budget work still looks cheap to a
+// guaranteed request; how the signals combine into a score is the Placer's
+// business.
+func (s *shardState) candidate(c serve.Class) Candidate {
+	return Candidate{
+		ID:               s.id,
+		StaticWeight:     s.weight,
+		Load:             s.classLoad(c),
+		Service:          s.service.Load(),
+		AdvertisedWeight: s.advWeight(),
 	}
-	return sc
 }
 
 // pick chooses a target shard for a request of class c, excluding `not`
-// (the shard a failed first attempt used). Weighted power-of-two-choices
-// between two distinct random routable shards; equal scores fall back to
-// the round-robin cursor. With every breaker open the router still picks
-// among non-permanently-down shards (round-robin over what is left): a
-// guess at a possibly-recovered shard beats a guaranteed error. Returns
-// nil only when every shard is permanently down.
+// (the shard a failed first attempt used). The routable set goes to the
+// configured Placer — power-of-two-choices under the selected scoring
+// policy. With every breaker open the router still picks among
+// non-permanently-down shards (whatever the placer makes of what is
+// left): a guess at a possibly-recovered shard beats a guaranteed error.
+// Returns nil only when every shard is permanently down.
 func (r *Router) pick(not *shardState, c serve.Class) *shardState {
 	routable := make([]*shardState, 0, len(r.shards))
 	for _, s := range r.shards {
@@ -555,27 +580,11 @@ func (r *Router) pick(not *shardState, c serve.Class) *shardState {
 	case 1:
 		return routable[0]
 	}
-	r.rngMu.Lock()
-	i := r.rng.Intn(len(routable))
-	j := r.rng.Intn(len(routable) - 1)
-	r.rngMu.Unlock()
-	if j >= i {
-		j++
+	cands := make([]Candidate, len(routable))
+	for i, s := range routable {
+		cands[i] = s.candidate(c)
 	}
-	a, b := routable[i], routable[j]
-	// The service-time term only enters when both candidates have reported
-	// an estimate; comparing a measured shard against an unmeasured one
-	// would mix units.
-	withService := r.cfg.AdaptiveWeights && a.service.Load() > 0 && b.service.Load() > 0
-	sa, sb := a.score(c, withService), b.score(c, withService)
-	switch {
-	case sa < sb:
-		return a
-	case sb < sa:
-		return b
-	default:
-		return routable[r.rr.Add(1)%uint64(len(routable))]
-	}
+	return routable[r.placer.Pick(cands)]
 }
 
 // Mux returns the router's HTTP API: the same endpoints a single hybridnetd
@@ -849,6 +858,7 @@ func (r *Router) probe(s *shardState) {
 		var health struct {
 			QueueDepth       int64            `json:"queue_depth"`
 			ServiceNS        int64            `json:"service_ns"`
+			AdvertisedWeight float64          `json:"advertised_weight"`
 			ClassQueueDepths map[string]int64 `json:"class_queue_depths"`
 		}
 		decodeErr := json.NewDecoder(resp.Body).Decode(&health)
@@ -858,6 +868,9 @@ func (r *Router) probe(s *shardState) {
 			s.depth.Store(health.QueueDepth)
 			if health.ServiceNS > 0 {
 				s.service.Store(health.ServiceNS)
+			}
+			if health.AdvertisedWeight >= 0 {
+				s.setAdvWeight(health.AdvertisedWeight)
 			}
 			if health.ClassQueueDepths != nil {
 				for _, c := range serve.Classes {
@@ -891,8 +904,12 @@ type ShardStatus struct {
 	// ServiceTime is the per-image service time the shard last reported,
 	// the adaptive-placement signal.
 	ServiceTime time.Duration `json:"service_ns"`
-	Inflight    int64         `json:"inflight"`
-	QueueDepth  int64         `json:"queue_depth"` // last /healthz report
+	// AdvertisedWeight is the min-max placement weight the shard last
+	// reported on /healthz (0 = not advertising), the `-placement minmax`
+	// signal.
+	AdvertisedWeight float64 `json:"advertised_weight,omitempty"`
+	Inflight         int64   `json:"inflight"`
+	QueueDepth       int64   `json:"queue_depth"` // last /healthz report
 	// ClassQueueDepths is the per-class queue-depth split the shard last
 	// reported on /healthz (absent against a worker that predates classes).
 	ClassQueueDepths map[string]int64 `json:"class_queue_depths,omitempty"`
@@ -939,9 +956,10 @@ func (r *Router) Report(ctx context.Context) StatsReport {
 			defer wg.Done()
 			st := ShardStatus{
 				ID: s.id, URL: s.base(), Healthy: s.healthy(),
-				Weight:      s.weight,
-				ServiceTime: time.Duration(s.service.Load()),
-				Inflight:    s.inflight.Load(), QueueDepth: s.depth.Load(),
+				Weight:           s.weight,
+				ServiceTime:      time.Duration(s.service.Load()),
+				AdvertisedWeight: s.advWeight(),
+				Inflight:         s.inflight.Load(), QueueDepth: s.depth.Load(),
 				Restarts:        s.restarts.Load(),
 				PermanentlyDown: s.isDown(),
 			}
@@ -1035,6 +1053,7 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	p.Counter("hybridnet_router_failovers_total", "Requests served by the second attempt after the first shard failed.", float64(rep.Failovers))
 	p.Counter("hybridnet_router_errors_total", "Requests that surfaced a transport error to the client.", float64(rep.Errors))
 	p.Gauge("hybridnet_router_shards", "Configured fleet size (healthy or not).", float64(len(rep.Shards)))
+	p.Info("hybridnet_router_placement", "Active placement policy (label `policy`).", obs.Label{Name: "policy", Value: r.placer.Name()})
 	p.Gauge("hybridnet_router_healthy_shards", "Shards currently routable (breaker closed, not permanently down).", float64(rep.HealthyShards))
 	for _, sh := range rep.Shards {
 		l := obs.Label{Name: "shard", Value: strconv.Itoa(sh.ID)}
@@ -1056,6 +1075,7 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 		}
 		p.Gauge("hybridnet_shard_weight", "Static placement capacity weight.", sh.Weight, l)
 		p.Gauge("hybridnet_shard_service_time_seconds", "Per-image service time the shard last reported (adaptive-placement signal).", sh.ServiceTime.Seconds(), l)
+		p.Gauge("hybridnet_shard_advertised_weight", "Min-max placement weight the shard last reported on /healthz (0 = not advertising).", sh.AdvertisedWeight, l)
 	}
 	if err := p.Err(); err != nil {
 		r.cfg.Log.Warn("write metrics", "err", err)
