@@ -31,6 +31,7 @@ import (
 	"repro/internal/shape"
 	"repro/internal/shard"
 	"repro/internal/tensor"
+	"repro/internal/train"
 )
 
 // table1Workload builds the convolution operands for the Table 1 benches.
@@ -350,6 +351,140 @@ func BenchmarkForwardBatch_MicroNet(b *testing.B) {
 		b.Fatal(err)
 	}
 	benchForwardBatchLayer(b, net, 3, 32) // Sequential implements Layer
+}
+
+// Batch-native backward — one training step (forward + backward, since the
+// backward pass consumes the forward's cached activations) through
+// BackwardBatch against the per-sample Forward/Backward fan-out, swept over
+// batch size. The batched path computes dW and dX with one GemmTB/GemmTA
+// per layer over the whole batch, so the weight matrices stream once per
+// batch in each direction instead of once per sample; the effect mirrors
+// the forward benches but roughly doubled, because backward touches the
+// weights twice (dW and dX). Recorded in BENCH_compute.json.
+
+func benchBackwardBatchLayer(b *testing.B, layer nn.Layer, inShape, outShape []int) {
+	rng := rand.New(rand.NewSource(40))
+	for _, batch := range []int{1, 4, 8, 16} {
+		xs := make([]*tensor.Tensor, batch)
+		gs := make([]*tensor.Tensor, batch)
+		for i := range xs {
+			x := tensor.MustNew(inShape...)
+			x.FillUniform(rng, 0, 1)
+			xs[i] = x
+			g := tensor.MustNew(outShape...)
+			g.FillUniform(rng, -1, 1)
+			gs[i] = g
+		}
+		packedX, err := tensor.Stack(xs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		packedG, err := tensor.Stack(gs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d/mode=batched", batch), func(b *testing.B) {
+			ctx := nn.NewContext()
+			ctx.SetTraining(true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := layer.ForwardBatch(ctx, packedX); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := layer.BackwardBatch(ctx, packedG); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "samples/s")
+		})
+		b.Run(fmt.Sprintf("n=%d/mode=persample", batch), func(b *testing.B) {
+			ctx := nn.NewContext()
+			ctx.SetTraining(true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j, x := range xs {
+					if _, err := layer.Forward(ctx, x); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := layer.Backward(ctx, gs[j]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "samples/s")
+		})
+	}
+}
+
+// AlexNet conv3 backward: 384 3×3×256 filters over 13×13 — the weight-bound
+// conv regime; backward streams the 3.5 MB of weights for both dW and dX.
+func BenchmarkBackwardBatch_AlexNetConv3(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	conv, err := nn.NewConv2D("conv3", 256, 384, 3, 1, 1, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchBackwardBatchLayer(b, conv, []int{256, 13, 13}, []int{384, 13, 13})
+}
+
+// AlexNet fc6 backward: 4096×9216 — 151 MB of weights, read twice per
+// backward (dW accumulate + dX), the layer where batching pays most.
+func BenchmarkBackwardBatch_AlexNetFC6(b *testing.B) {
+	rng := rand.New(rand.NewSource(43))
+	fc, err := nn.NewDense("fc6", 256*6*6, 4096, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchBackwardBatchLayer(b, fc, []int{256 * 6 * 6}, []int{4096})
+}
+
+// End-to-end training throughput — Trainer.Fit over one epoch of synthetic
+// GTSRB on an fc-heavy micro-AlexNet (small convs, 4096-wide hidden layer:
+// the 9 MB fc1 weight matrix dominates, the regime where AlexNet spends
+// its parameters), batched shards (SubBatch 0, the default) against the
+// legacy per-sample path (SubBatch 1). Mini-batch 16, so the batched path
+// runs whole 16-sample GEMM sweeps per layer per direction. Same seeds,
+// same update rule; only the execution strategy differs.
+func BenchmarkTrainerFit(b *testing.B) {
+	cfg := nn.MicroConfig{
+		InputSize: 32, Conv1Filters: 8, Conv1Kernel: 5,
+		Conv2Filters: 16, Hidden: 4096, Classes: 6, UseLRN: false,
+	}
+	ds, err := gtsrb.Generate(gtsrb.Config{Size: 32, PerClass: 8},
+		rand.New(rand.NewSource(51)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name     string
+		subBatch int
+	}{{"batched", 0}, {"persample", 1}} {
+		b.Run("mode="+mode.name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				net, err := nn.NewMicroAlexNet(cfg, rand.New(rand.NewSource(50)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				opt, err := train.NewSGD(0.03, 0.9, 1e-4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tr := &train.Trainer{
+					Net: net, Opt: opt, BatchSize: 16, Epochs: 1,
+					SubBatch: mode.subBatch, Rng: rand.New(rand.NewSource(52)),
+				}
+				b.StartTimer()
+				if _, err := tr.Fit(ds); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(ds.Len()*b.N)/b.Elapsed().Seconds(), "samples/s")
+		})
+	}
 }
 
 // Intra-GEMM parallelism — a single conv3- or fc6-shaped GEMM split across

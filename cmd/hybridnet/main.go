@@ -5,7 +5,7 @@
 //
 // Subcommands:
 //
-//	hybridnet train    -out model.json [-size 32] [-filters 16] [-perclass 20] [-epochs 10] [-seed 1]
+//	hybridnet train    -out model.json [-size 32] [-filters 16] [-perclass 20] [-epochs 10] [-subbatch 0] [-workers 1] [-seed 1]
 //	hybridnet eval     -model model.json [-perclass 10] [-seed 2]
 //	hybridnet qualify  -model model.json [-sign stop|yield|prohibition|parking|mandatory|warning] [-seed 3]
 //	hybridnet campaign -model model.json [-rate 1e-4] [-trials 20] [-mode temporal-dmr|spatial-dmr|tmr|plain]
@@ -38,20 +38,27 @@ func run(args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("usage: hybridnet <train|eval|qualify|campaign> [flags]")
 	}
+	var err error
 	switch args[0] {
 	case "train":
-		return cmdTrain(args[1:])
+		err = cmdTrain(args[1:])
 	case "eval":
-		return cmdEval(args[1:])
+		err = cmdEval(args[1:])
 	case "qualify":
-		return cmdQualify(args[1:])
+		err = cmdQualify(args[1:])
 	case "campaign":
-		return cmdCampaign(args[1:])
+		err = cmdCampaign(args[1:])
 	case "render":
-		return cmdRender(args[1:])
+		err = cmdRender(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
+	if err == flag.ErrHelp {
+		// -h/-help printed the subcommand usage; that is a success, not an
+		// error (and the flagdoc generator depends on the zero exit).
+		return nil
+	}
+	return err
 }
 
 func cmdTrain(args []string) error {
@@ -61,6 +68,8 @@ func cmdTrain(args []string) error {
 	filters := fs.Int("filters", 16, "first-layer filter count")
 	perClass := fs.Int("perclass", 20, "training examples per class")
 	epochs := fs.Int("epochs", 10, "training epochs")
+	subBatch := fs.Int("subbatch", 0, "samples per batched backward pass (0 = whole worker shard, 1 = per-sample)")
+	workers := fs.Int("workers", 1, "data-parallel trainer workers per mini-batch")
 	seed := fs.Int64("seed", 1, "random seed")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,6 +105,7 @@ func cmdTrain(args []string) error {
 	}
 	tr := &train.Trainer{
 		Net: net, Opt: opt, BatchSize: 8, Epochs: *epochs,
+		SubBatch: *subBatch, Workers: *workers,
 		Freezes: []*train.FilterFreeze{freeze}, Rng: rng,
 		OnEpoch: func(epoch int, loss float64) error {
 			fmt.Printf("epoch %2d  loss %.4f\n", epoch, loss)

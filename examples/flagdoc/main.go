@@ -25,11 +25,16 @@ import (
 	"strings"
 )
 
-// targets are the binaries whose flags the manual documents.
-var targets = []struct{ name, pkg string }{
-	{"hybridnetd", "repro/cmd/hybridnetd"},
-	{"hybridnet-router", "repro/cmd/hybridnet-router"},
-	{"hybridnet-sim", "repro/cmd/hybridnet-sim"},
+// targets are the binaries (or subcommands — args run before -h) whose
+// flags the manual documents.
+var targets = []struct {
+	name, pkg string
+	args      []string
+}{
+	{name: "hybridnetd", pkg: "repro/cmd/hybridnetd"},
+	{name: "hybridnet-router", pkg: "repro/cmd/hybridnet-router"},
+	{name: "hybridnet-sim", pkg: "repro/cmd/hybridnet-sim"},
+	{name: "hybridnet-train", pkg: "repro/cmd/hybridnet", args: []string{"train"}},
 }
 
 func main() {
@@ -49,7 +54,7 @@ func run(docPath string, write bool) error {
 	}
 	updated := string(content)
 	for _, t := range targets {
-		usage, err := helpOutput(t.pkg)
+		usage, err := helpOutput(t.pkg, t.args)
 		if err != nil {
 			return fmt.Errorf("%s: %w", t.name, err)
 		}
@@ -73,13 +78,15 @@ func run(docPath string, write bool) error {
 	return fmt.Errorf("%s flag tables drifted from -h output; run `go run ./examples/flagdoc -write`", docPath)
 }
 
-// helpOutput captures a binary's flag usage listing. The flag package
-// prints it to stderr; both serving binaries exit 0 on -h.
-func helpOutput(pkg string) (string, error) {
-	cmd := exec.Command("go", "run", pkg, "-h")
+// helpOutput captures a binary's flag usage listing, optionally through a
+// subcommand (e.g. `hybridnet train -h`). The flag package prints it to
+// stderr; every documented target exits 0 on -h.
+func helpOutput(pkg string, args []string) (string, error) {
+	argv := append(append([]string{"run", pkg}, args...), "-h")
+	cmd := exec.Command("go", argv...)
 	out, err := cmd.CombinedOutput()
 	if err != nil {
-		return "", fmt.Errorf("go run %s -h: %v\n%s", pkg, err, out)
+		return "", fmt.Errorf("go run %s %s -h: %v\n%s", pkg, strings.Join(args, " "), err, out)
 	}
 	return string(out), nil
 }

@@ -8,9 +8,11 @@ import (
 )
 
 // Context carries all per-call mutable state of a forward/backward pass:
-// layer activation caches, im2col scratch buffers (batch-sized on the
-// ForwardBatch path — they grow to the largest micro-batch seen and are
-// then reused call over call), the training switch, the dropout RNG and
+// layer activation caches (per-sample from Forward, batch-sized from a
+// training-mode ForwardBatch — the state BackwardBatch consumes), im2col
+// scratch buffers (batch-sized on the ForwardBatch path — they grow to
+// the largest micro-batch seen and are then reused call over call), the
+// training switch, the dropout RNG and
 // (optionally) context-local gradient accumulators. Layers
 // themselves hold only immutable parameters, so any number of goroutines may
 // run the SAME network concurrently as long as each uses its own Context —

@@ -29,8 +29,11 @@ type Conv2D struct {
 }
 
 // convState is the per-context mutable state of one Conv2D: the forward
-// cache Backward consumes, the reusable lowering buffers, and the
-// batch-sized scratch of the batched path. The buffers grow to the
+// cache Backward consumes, the reusable lowering buffers, the
+// batch-sized scratch of the batched path, and (in training contexts)
+// the batch forward cache BackwardBatch consumes. Per-sample and batch
+// fields are disjoint so interleaved Forward/ForwardBatch calls never
+// clobber each other's backward state. The buffers grow to the
 // high-water mark of the batches seen through this context and are then
 // recycled call over call.
 type convState struct {
@@ -40,6 +43,11 @@ type convState struct {
 	dcols      []float32 // column-space gradient scratch for Backward
 	bcols      []float32 // batched im2col matrix, (inC·k·k) × (N·outH·outW)
 	bout       []float32 // batched GEMM output, F-major (outC, N, outH·outW)
+
+	bLastIn      *tensor.Tensor // batch forward cache (training contexts only)
+	boutH, boutW int
+	bgrad        []float32 // NCHW→F-major gradient transpose scratch
+	bdcols       []float32 // batched column-space gradient scratch
 }
 
 var _ Layer = (*Conv2D)(nil)
@@ -162,7 +170,9 @@ func (c *Conv2D) Forward(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error)
 // F-major (outC, N, outH·outW); a contiguous per-(filter,sample) copy
 // transposes it into the NCHW output. Element-for-element the arithmetic
 // (bias seed + ascending-tap accumulation) is identical to Forward, so the
-// outputs match the per-sample path exactly. No backward state is cached.
+// outputs match the per-sample path exactly. In training contexts the
+// input and the batch im2col matrix are kept for BackwardBatch; inference
+// contexts cache no backward state.
 func (c *Conv2D) ForwardBatch(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
 	if ctx == nil {
 		return nil, fmt.Errorf("nn: conv %q batched forward needs a context", c.name)
@@ -195,6 +205,11 @@ func (c *Conv2D) ForwardBatch(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, e
 		}
 	}
 	tensor.GemmAcc(st.bout, c.weight.Data(), st.bcols, c.outC, ckk, cols)
+	if ctx.Training() {
+		st.bLastIn, st.boutH, st.boutW = x, outH, outW
+	} else {
+		st.bLastIn = nil // st.bcols is scratch again; invalidate the batch cache
+	}
 
 	out := tensor.MustNew(n, c.outC, outH, outW)
 	od := out.Data()
@@ -291,6 +306,63 @@ func (c *Conv2D) Backward(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, er
 	tensor.GemmTA(st.dcols, c.weight.Data(), g, ckk, c.outC, n)
 	dx := tensor.MustNew(c.inC, inH, inW)
 	if err := tensor.Col2im(dx.Data(), st.dcols, c.inC, inH, inW, c.k, c.stride, c.pad); err != nil {
+		return nil, fmt.Errorf("nn: conv %q: %w", c.name, err)
+	}
+	return dx, nil
+}
+
+// BackwardBatch implements Layer over an NCHW gradient batch with the same
+// column-space algebra as Backward, batch-wide: the gradient transposes into
+// the F-major (outC) × (N·outH·outW) layout of the batched forward, dB is
+// one tensor.AddRowSums reduction (per-(filter,sample) chains, matching the
+// per-sample order), dW += dY·colsᵀ is ONE GemmTB against the forward's
+// batch im2col matrix, and dX = Col2imBatch(Wᵀ·dY) is ONE GemmTA plus one
+// batch scatter — the weight bank is streamed twice per mini-batch instead
+// of twice per sample.
+func (c *Conv2D) BackwardBatch(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: conv %q batched backward needs a context", c.name)
+	}
+	st, ok := ctx.states[c].(*convState)
+	if !ok || st.bLastIn == nil {
+		return nil, fmt.Errorf("nn: conv %q batched backward before training-mode batched forward", c.name)
+	}
+	x := st.bLastIn
+	n := x.Dim(0)
+	if grad.Rank() != 4 || grad.Dim(0) != n || grad.Dim(1) != c.outC ||
+		grad.Dim(2) != st.boutH || grad.Dim(3) != st.boutW {
+		return nil, fmt.Errorf("nn: conv %q wants (%d,%d,%d,%d) gradient, got %v",
+			c.name, n, c.outC, st.boutH, st.boutW, grad.Shape())
+	}
+	inH, inW := x.Dim(2), x.Dim(3)
+	hw := st.boutH * st.boutW
+	cols := n * hw
+	ckk := c.inC * c.k * c.k
+	g := grad.Data()
+	dw := ctx.gradBuf(c.gradW).Data()
+	db := ctx.gradBuf(c.gradB).Data()
+
+	// NCHW → F-major: one contiguous copy per (filter, sample), the exact
+	// inverse of the forward's output transpose.
+	st.bgrad = tensor.GrowSlice(st.bgrad, c.outC*cols)
+	for f := 0; f < c.outC; f++ {
+		fRow := st.bgrad[f*cols : (f+1)*cols]
+		for s := 0; s < n; s++ {
+			copy(fRow[s*hw:(s+1)*hw], g[(s*c.outC+f)*hw:(s*c.outC+f+1)*hw])
+		}
+	}
+	if err := tensor.AddRowSums(db, st.bgrad, c.outC, n, hw); err != nil {
+		return nil, fmt.Errorf("nn: conv %q: %w", c.name, err)
+	}
+	tensor.GemmTB(dw, st.bgrad, st.bcols, c.outC, cols, ckk)
+
+	st.bdcols = tensor.GrowSlice(st.bdcols, ckk*cols)
+	for i := range st.bdcols {
+		st.bdcols[i] = 0
+	}
+	tensor.GemmTA(st.bdcols, c.weight.Data(), st.bgrad, ckk, c.outC, cols)
+	dx := tensor.MustNew(n, c.inC, inH, inW)
+	if err := tensor.Col2imBatch(dx.Data(), st.bdcols, n, c.inC, inH, inW, c.k, c.stride, c.pad); err != nil {
 		return nil, fmt.Errorf("nn: conv %q: %w", c.name, err)
 	}
 	return dx, nil

@@ -18,9 +18,12 @@ type Dense struct {
 	gradB   *tensor.Tensor
 }
 
-// denseState is the per-context forward cache.
+// denseState is the per-context forward cache. Per-sample and batch fields
+// are disjoint so interleaved Forward/ForwardBatch calls never clobber each
+// other's backward state.
 type denseState struct {
-	lastIn *tensor.Tensor
+	lastIn  *tensor.Tensor
+	bLastIn *tensor.Tensor // batch forward cache (training contexts only)
 }
 
 var _ Layer = (*Dense)(nil)
@@ -87,7 +90,8 @@ func (d *Dense) Forward(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) 
 // ForwardBatch implements Layer over an (N, in) batch: one tensor.Linear
 // call computes X·Wᵀ + b for all N rows, streaming the weight matrix — by
 // far the largest tensor in the fully connected layers — once per batch
-// instead of once per sample. No backward state is cached.
+// instead of once per sample. In training contexts the input batch is kept
+// for BackwardBatch; inference contexts cache no backward state.
 func (d *Dense) ForwardBatch(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
 	if ctx == nil {
 		return nil, fmt.Errorf("nn: dense %q batched forward needs a context", d.name)
@@ -96,6 +100,12 @@ func (d *Dense) ForwardBatch(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, er
 		return nil, fmt.Errorf("nn: dense %q wants (N,%d) batch, got %v", d.name, d.in, x.Shape())
 	}
 	n := x.Dim(0)
+	st := ctx.state(d, func() any { return &denseState{} }).(*denseState)
+	if ctx.Training() {
+		st.bLastIn = x
+	} else {
+		st.bLastIn = nil
+	}
 	out := tensor.MustNew(n, d.out)
 	tensor.Linear(out.Data(), x.Data(), d.weight.Data(), d.bias.Data(), n, d.in, d.out)
 	return out, nil
@@ -133,6 +143,36 @@ func (d *Dense) Backward(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, err
 	return dx, nil
 }
 
+// BackwardBatch implements Layer over an (N, out) gradient batch with three
+// batch-wide kernels where Backward runs N scalar loops: dB is one
+// tensor.AddColSums reduction (row-after-row, matching the per-sample
+// order), dW += Gᵀ·X is ONE GemmTA, and dX = G·W is ONE Gemm — the weight
+// matrix is streamed twice per mini-batch instead of twice per sample, which
+// is where fc-heavy training gets its batched win.
+func (d *Dense) BackwardBatch(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: dense %q batched backward needs a context", d.name)
+	}
+	st, ok := ctx.states[d].(*denseState)
+	if !ok || st.bLastIn == nil {
+		return nil, fmt.Errorf("nn: dense %q batched backward before training-mode batched forward", d.name)
+	}
+	n := st.bLastIn.Dim(0)
+	if grad.Rank() != 2 || grad.Dim(0) != n || grad.Dim(1) != d.out {
+		return nil, fmt.Errorf("nn: dense %q wants (%d,%d) gradient, got %v", d.name, n, d.out, grad.Shape())
+	}
+	g, x, w := grad.Data(), st.bLastIn.Data(), d.weight.Data()
+	dw := ctx.gradBuf(d.gradW).Data()
+	db := ctx.gradBuf(d.gradB).Data()
+	if err := tensor.AddColSums(db, g, n, d.out); err != nil {
+		return nil, fmt.Errorf("nn: dense %q: %w", d.name, err)
+	}
+	tensor.GemmTA(dw, g, x, d.out, n, d.in)
+	dx := tensor.MustNew(n, d.in)
+	tensor.Gemm(dx.Data(), g, w, n, d.out, d.in)
+	return dx, nil
+}
+
 // Dropout zeroes activations with probability Rate in training contexts and
 // is the identity at inference (inverted dropout: surviving activations are
 // scaled by 1/(1−Rate) so inference needs no rescaling). The mask is drawn
@@ -147,9 +187,11 @@ type Dropout struct {
 	rng  *rand.Rand
 }
 
-// dropoutState is the per-context mask cache.
+// dropoutState is the per-context mask cache; mask serves per-sample
+// Backward, bmask the batched pass.
 type dropoutState struct {
-	mask []float32
+	mask  []float32
+	bmask []float32 // batch-wide mask (training contexts only)
 }
 
 var _ Layer = (*Dropout)(nil)
@@ -215,12 +257,18 @@ func (d *Dropout) applyMask(rng *rand.Rand, data, maskOut []float32) {
 // ForwardBatch implements Layer. Dropout is element-wise, so the batched
 // pass is the per-sample pass over the flattened batch: the identity at
 // inference, a fresh inverted-dropout mask over every element in training
-// contexts. No mask is cached — batched passes have no backward.
+// contexts, cached batch-wide for BackwardBatch. The mask stream is drawn
+// element-ascending over the flattened batch — the same draws a per-sample
+// loop over the batch would make against this layer, though a multi-layer
+// net interleaves its layers' draws differently than N per-sample passes
+// would.
 func (d *Dropout) ForwardBatch(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
 	if ctx == nil {
 		return nil, fmt.Errorf("nn: dropout %q batched forward needs a context", d.name)
 	}
+	st := ctx.state(d, func() any { return &dropoutState{} }).(*dropoutState)
 	if !ctx.Training() || d.rate == 0 {
+		st.bmask = nil
 		return x, nil
 	}
 	rng := ctx.Rand()
@@ -230,7 +278,8 @@ func (d *Dropout) ForwardBatch(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, 
 		rng = d.rng
 	}
 	out := x.Clone()
-	d.applyMask(rng, out.Data(), nil)
+	st.bmask = make([]float32, out.Len())
+	d.applyMask(rng, out.Data(), st.bmask)
 	return out, nil
 }
 
@@ -250,6 +299,28 @@ func (d *Dropout) Backward(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, e
 	dx := grad.Clone()
 	data := dx.Data()
 	for i, m := range st.mask {
+		data[i] *= m
+	}
+	return dx, nil
+}
+
+// BackwardBatch implements Layer: the batch gradient scales by the cached
+// batch-wide mask (identity in inference contexts, mirroring Backward).
+func (d *Dropout) BackwardBatch(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: dropout %q batched backward needs a context", d.name)
+	}
+	st, ok := ctx.states[d].(*dropoutState)
+	if !ok || st.bmask == nil {
+		return grad, nil // inference mode: identity
+	}
+	if grad.Len() != len(st.bmask) {
+		return nil, fmt.Errorf("nn: dropout %q batch gradient length %d != cached %d",
+			d.name, grad.Len(), len(st.bmask))
+	}
+	dx := grad.Clone()
+	data := dx.Data()
+	for i, m := range st.bmask {
 		data[i] *= m
 	}
 	return dx, nil

@@ -4,17 +4,19 @@
 // dropout), forward/backward passes, cross-entropy loss and weight
 // serialisation.
 //
-// The forward path is batch-native: ForwardBatch takes an NCHW (or N×K
+// Both directions are batch-native: ForwardBatch takes an NCHW (or N×K
 // flat) micro-batch and vectorises across it — convolution lowers all N
 // samples into ONE blocked GEMM per layer (tensor.Im2colBatch), dense
 // layers stream their weight matrix once per batch instead of once per
-// sample (tensor.Linear). The per-sample Forward is the N=1 case of the
-// same kernels and is the entry point for training, because only Forward
-// populates the caches Backward consumes. Layers hold only immutable
-// parameters — every per-call cache and scratch buffer (including the
-// batch-sized im2col and GEMM scratch) lives in the Context threaded
-// through the passes — so one network can serve any number of concurrent
-// passes, one Context per goroutine.
+// sample (tensor.Linear) — and, in training contexts, caches batch-sized
+// backward state that BackwardBatch consumes, so a whole mini-batch
+// trains with one GEMM per layer per direction (dW = dY·Xᵀ, dX = Wᵀ·dY,
+// tensor.Col2imBatch for the convolution scatter). The per-sample
+// Forward/Backward pair is the N=1 case of the same kernels. Layers hold
+// only immutable parameters — every per-call cache and scratch buffer
+// (including the batch-sized im2col and GEMM scratch) lives in the
+// Context threaded through the passes — so one network can serve any
+// number of concurrent passes, one Context per goroutine.
 package nn
 
 import (
@@ -52,15 +54,25 @@ type Layer interface {
 	Forward(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error)
 	// ForwardBatch computes the layer output for an NCHW (or N×K flat)
 	// micro-batch, one output sample per input sample, vectorised across
-	// the batch (convolution runs ONE GEMM for all N samples). It is the
-	// inference fast path: it caches NO backward state — run per-sample
-	// Forward when a Backward will follow. Batch-sized scratch lives in
-	// ctx and is reused across calls.
+	// the batch (convolution runs ONE GEMM for all N samples). In
+	// inference contexts it caches no backward state; in training
+	// contexts (ctx.Training()) it additionally caches the batch-sized
+	// state BackwardBatch consumes, in fields separate from the
+	// per-sample cache so the two pass styles never clobber each other.
+	// Batch-sized scratch lives in ctx and is reused across calls.
 	ForwardBatch(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error)
 	// Backward computes the input gradient from the output gradient. It
 	// must be called on the same Context after Forward, with a gradient
 	// matching the output shape.
 	Backward(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, error)
+	// BackwardBatch computes the batch input gradient from the batch
+	// output gradient, vectorised like ForwardBatch (one GEMM per
+	// parameterised layer for all N samples). It must be called on the
+	// same Context after a training-mode ForwardBatch, with a gradient
+	// matching the batch output shape; parameter gradients accumulate
+	// exactly as in Backward (canonical Grad tensors or the context's
+	// shadow buffers).
+	BackwardBatch(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, error)
 	// Params returns the layer's learnable parameters (possibly empty).
 	Params() []*Param
 }
@@ -174,6 +186,23 @@ func (s *Sequential) Backward(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor
 		grad, err = s.layers[i].Backward(ctx, grad)
 		if err != nil {
 			return nil, fmt.Errorf("nn: backward layer %d (%s): %w", i, s.layers[i].Name(), err)
+		}
+	}
+	return grad, nil
+}
+
+// BackwardBatch propagates the batch output gradient through the chain in
+// reverse, using the batch caches a training-mode ForwardBatch left in ctx —
+// one GEMM per parameterised layer for the whole mini-batch.
+func (s *Sequential) BackwardBatch(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: batched backward needs a context")
+	}
+	var err error
+	for i := len(s.layers) - 1; i >= 0; i-- {
+		grad, err = s.layers[i].BackwardBatch(ctx, grad)
+		if err != nil {
+			return nil, fmt.Errorf("nn: batched backward layer %d (%s): %w", i, s.layers[i].Name(), err)
 		}
 	}
 	return grad, nil

@@ -47,6 +47,41 @@ func CrossEntropyLoss(logits *tensor.Tensor, label int) (loss float64, grad *ten
 	return loss, grad, nil
 }
 
+// CrossEntropyLossBatch computes softmax cross-entropy for an (N, K) logits
+// batch and the (N, K) gradient w.r.t. the logits. Row i of the gradient is
+// exactly CrossEntropyLoss(logits[i], labels[i])'s gradient, and the
+// returned loss is the SUM of the per-sample losses (the caller owns the
+// 1/N averaging, matching how the trainer folds per-sample losses today) —
+// so the batched loss is golden-equivalent to N per-sample calls.
+func CrossEntropyLossBatch(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor, err error) {
+	if logits.Rank() != 2 {
+		return 0, nil, fmt.Errorf("nn: batch loss wants (N,K) logits, got %v", logits.Shape())
+	}
+	n, k := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		return 0, nil, fmt.Errorf("nn: batch loss got %d labels for %d logit rows", len(labels), n)
+	}
+	ld := logits.Data()
+	grad = tensor.MustNew(n, k)
+	g := grad.Data()
+	for i, label := range labels {
+		if label < 0 || label >= k {
+			return 0, nil, fmt.Errorf("nn: batch loss label %d (row %d) out of range [0,%d)", label, i, k)
+		}
+		row := g[i*k : (i+1)*k]
+		if err := mathx.Softmax(row, ld[i*k:(i+1)*k]); err != nil {
+			return 0, nil, fmt.Errorf("nn: batch loss softmax (row %d): %w", i, err)
+		}
+		p := float64(row[label])
+		if p < 1e-30 {
+			p = 1e-30
+		}
+		loss += -math.Log(p)
+		row[label] -= 1
+	}
+	return loss, grad, nil
+}
+
 // SoftmaxArgmax returns the softmax distribution over a flat logits tensor
 // and its argmax class (ties resolve to the lowest index). It is THE
 // logits-to-verdict tail shared by every prediction path — per-sample

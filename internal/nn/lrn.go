@@ -20,10 +20,14 @@ type LRN struct {
 	beta  float64
 }
 
-// lrnState is the per-context forward cache.
+// lrnState is the per-context forward cache; the b-prefixed fields are the
+// batch cache of a training-mode ForwardBatch.
 type lrnState struct {
 	lastIn *tensor.Tensor
 	denom  []float64 // cached k + (α/n)Σx² per element
+
+	bLastIn *tensor.Tensor // batch forward cache (training contexts only)
+	bdenom  []float64      // batch-wide denominator cache
 }
 
 var _ Layer = (*LRN)(nil)
@@ -109,8 +113,9 @@ func (l *LRN) normalize(in, od []float32, c, hw int, denom []float64) {
 
 // ForwardBatch implements Layer over an NCHW batch: normalisation windows
 // span channels within a sample, so the batched pass applies the per-sample
-// kernel to each of the N packed samples, with no denominator cache (no
-// backward).
+// kernel to each of the N packed samples. In training contexts the input and
+// the batch-wide denominator cache are kept for BackwardBatch; inference
+// contexts cache nothing.
 func (l *LRN) ForwardBatch(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
 	if ctx == nil {
 		return nil, fmt.Errorf("nn: lrn %q batched forward needs a context", l.name)
@@ -119,11 +124,26 @@ func (l *LRN) ForwardBatch(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, erro
 		return nil, fmt.Errorf("nn: lrn %q wants NCHW batch, got %v", l.name, x.Shape())
 	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	st := ctx.state(l, func() any { return &lrnState{} }).(*lrnState)
+	if ctx.Training() {
+		st.bLastIn = x
+		if cap(st.bdenom) >= n*c*h*w {
+			st.bdenom = st.bdenom[:n*c*h*w]
+		} else {
+			st.bdenom = make([]float64, n*c*h*w)
+		}
+	} else {
+		st.bLastIn = nil
+	}
 	out := tensor.MustNew(n, c, h, w)
 	in, od := x.Data(), out.Data()
 	chw := c * h * w
 	for s := 0; s < n; s++ {
-		l.normalize(in[s*chw:(s+1)*chw], od[s*chw:(s+1)*chw], c, h*w, nil)
+		var denom []float64
+		if st.bLastIn != nil {
+			denom = st.bdenom[s*chw : (s+1)*chw]
+		}
+		l.normalize(in[s*chw:(s+1)*chw], od[s*chw:(s+1)*chw], c, h*w, denom)
 	}
 	return out, nil
 }
@@ -145,20 +165,27 @@ func (l *LRN) Backward(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, error
 	}
 	c, h, w := st.lastIn.Dim(0), st.lastIn.Dim(1), st.lastIn.Dim(2)
 	dx := tensor.MustNew(c, h, w)
-	in, g, dxd := st.lastIn.Data(), grad.Data(), dx.Data()
+	l.backwardSample(st.lastIn.Data(), grad.Data(), dx.Data(), st.denom, c, h*w)
+	return dx, nil
+}
+
+// backwardSample applies the LRN derivative to one CHW sample (c channels of
+// hw elements) given its forward denominator cache — the kernel shared by
+// the per-sample and batched backward passes, so the derivative cannot
+// drift between them.
+func (l *LRN) backwardSample(in, g, dxd []float32, denom []float64, c, hw int) {
 	half := l.n / 2
-	hw := h * w
 	scale := 2 * l.alpha * l.beta / float64(l.n)
 	for pos := 0; pos < hw; pos++ {
 		// Precompute g_i · x_i · denom_i^{-β-1} per channel at this pixel.
 		gi := make([]float64, c)
 		for ch := 0; ch < c; ch++ {
 			idx := ch*hw + pos
-			gi[ch] = float64(g[idx]) * float64(in[idx]) * math.Pow(st.denom[idx], -l.beta-1)
+			gi[ch] = float64(g[idx]) * float64(in[idx]) * math.Pow(denom[idx], -l.beta-1)
 		}
 		for m := 0; m < c; m++ {
 			idx := m*hw + pos
-			direct := float64(g[idx]) * math.Pow(st.denom[idx], -l.beta)
+			direct := float64(g[idx]) * math.Pow(denom[idx], -l.beta)
 			// Channels i whose window contains m: |i − m| <= half.
 			lo := m - half
 			if lo < 0 {
@@ -174,6 +201,31 @@ func (l *LRN) Backward(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, error
 			}
 			dxd[idx] = float32(direct - scale*float64(in[idx])*cross)
 		}
+	}
+}
+
+// BackwardBatch implements Layer: windows never cross samples, so the batch
+// derivative is the per-sample kernel over each packed sample with its slice
+// of the batch-wide denominator cache.
+func (l *LRN) BackwardBatch(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: lrn %q batched backward needs a context", l.name)
+	}
+	st, ok := ctx.states[l].(*lrnState)
+	if !ok || st.bLastIn == nil {
+		return nil, fmt.Errorf("nn: lrn %q batched backward before training-mode batched forward", l.name)
+	}
+	if !grad.SameShape(st.bLastIn) {
+		return nil, fmt.Errorf("nn: lrn %q batch gradient shape %v != input %v",
+			l.name, grad.Shape(), st.bLastIn.Shape())
+	}
+	n, c, h, w := st.bLastIn.Dim(0), st.bLastIn.Dim(1), st.bLastIn.Dim(2), st.bLastIn.Dim(3)
+	dx := tensor.MustNew(n, c, h, w)
+	in, g, dxd := st.bLastIn.Data(), grad.Data(), dx.Data()
+	chw := c * h * w
+	for s := 0; s < n; s++ {
+		l.backwardSample(in[s*chw:(s+1)*chw], g[s*chw:(s+1)*chw], dxd[s*chw:(s+1)*chw],
+			st.bdenom[s*chw:(s+1)*chw], c, h*w)
 	}
 	return dx, nil
 }

@@ -15,12 +15,19 @@ type MaxPool2D struct {
 	stride int
 }
 
-// poolState is the per-context forward cache.
+// poolState is the per-context forward cache; the b-prefixed fields are the
+// batch cache of a training-mode ForwardBatch, disjoint from the per-sample
+// fields so interleaved passes never clobber each other.
 type poolState struct {
 	lastShape  []int
 	argmax     []int // linear input index of each output's max
 	outC       int
 	outH, outW int
+
+	bLastShape   []int
+	bargmax      []int // batch-wide argmax (training contexts only)
+	bN, bC       int
+	boutH, boutW int
 }
 
 var _ Layer = (*MaxPool2D)(nil)
@@ -106,7 +113,9 @@ func (p *MaxPool2D) poolPlane(in, out []float32, argmax []int, pBase, oBase, w, 
 
 // ForwardBatch implements Layer over an NCHW batch. Pooling is independent
 // per (sample, channel) plane, so the batched pass sweeps all N·C planes of
-// the packed batch in one pass, with no argmax cache (no backward).
+// the packed batch in one pass. In training contexts the batch-wide argmax
+// (absolute indices into the packed batch) is cached for BackwardBatch;
+// inference contexts cache nothing.
 func (p *MaxPool2D) ForwardBatch(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
 	if ctx == nil {
 		return nil, fmt.Errorf("nn: pool %q batched forward needs a context", p.name)
@@ -122,8 +131,22 @@ func (p *MaxPool2D) ForwardBatch(ctx *Context, x *tensor.Tensor) (*tensor.Tensor
 	outW := (w-p.k)/p.stride + 1
 	out := tensor.MustNew(n, c, outH, outW)
 	in, od := x.Data(), out.Data()
+	var bargmax []int
+	st := ctx.state(p, func() any { return &poolState{} }).(*poolState)
+	if ctx.Training() {
+		if cap(st.bargmax) >= n*c*outH*outW {
+			st.bargmax = st.bargmax[:n*c*outH*outW]
+		} else {
+			st.bargmax = make([]int, n*c*outH*outW)
+		}
+		st.bLastShape = x.Shape()
+		st.bN, st.bC, st.boutH, st.boutW = n, c, outH, outW
+		bargmax = st.bargmax
+	} else {
+		st.bargmax = nil
+	}
 	for plane := 0; plane < n*c; plane++ {
-		p.poolPlane(in, od, nil, plane*h*w, plane*outH*outW, w, outH, outW)
+		p.poolPlane(in, od, bargmax, plane*h*w, plane*outH*outW, w, outH, outW)
 	}
 	return out, nil
 }
@@ -149,14 +172,39 @@ func (p *MaxPool2D) Backward(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor,
 	return dx, nil
 }
 
+// BackwardBatch implements Layer: the batch gradient routes to each
+// window's cached argmax, which is already absolute in the packed batch.
+func (p *MaxPool2D) BackwardBatch(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: pool %q batched backward needs a context", p.name)
+	}
+	st, ok := ctx.states[p].(*poolState)
+	if !ok || st.bargmax == nil {
+		return nil, fmt.Errorf("nn: pool %q batched backward before training-mode batched forward", p.name)
+	}
+	if grad.Rank() != 4 || grad.Dim(0) != st.bN || grad.Dim(1) != st.bC ||
+		grad.Dim(2) != st.boutH || grad.Dim(3) != st.boutW {
+		return nil, fmt.Errorf("nn: pool %q wants (%d,%d,%d,%d) gradient, got %v",
+			p.name, st.bN, st.bC, st.boutH, st.boutW, grad.Shape())
+	}
+	dx := tensor.MustNew(st.bLastShape...)
+	dxd, g := dx.Data(), grad.Data()
+	for i, src := range st.bargmax {
+		dxd[src] += g[i]
+	}
+	return dx, nil
+}
+
 // ReLU is the rectified linear activation.
 type ReLU struct {
 	name string
 }
 
-// reluState is the per-context activation mask.
+// reluState is the per-context activation mask; mask serves per-sample
+// Backward, bmask the batched pass.
 type reluState struct {
-	mask []bool
+	mask  []bool
+	bmask []bool // batch-wide mask (training contexts only)
 }
 
 var _ Layer = (*ReLU)(nil)
@@ -195,14 +243,33 @@ func (r *ReLU) Forward(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
 }
 
 // ForwardBatch implements Layer: ReLU is element-wise, so the batched pass
-// is one clamp sweep over the packed batch, with no mask cache (no
-// backward).
+// is one clamp sweep over the packed batch. In training contexts the
+// batch-wide activation mask is cached for BackwardBatch; inference
+// contexts cache nothing.
 func (r *ReLU) ForwardBatch(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
 	if ctx == nil {
 		return nil, fmt.Errorf("nn: relu %q batched forward needs a context", r.name)
 	}
+	st := ctx.state(r, func() any { return &reluState{} }).(*reluState)
 	out := x.Clone()
 	d := out.Data()
+	if ctx.Training() {
+		if cap(st.bmask) >= len(d) {
+			st.bmask = st.bmask[:len(d)]
+		} else {
+			st.bmask = make([]bool, len(d))
+		}
+		for i, v := range d {
+			if v > 0 {
+				st.bmask[i] = true
+			} else {
+				st.bmask[i] = false
+				d[i] = 0
+			}
+		}
+		return out, nil
+	}
+	st.bmask = nil
 	for i, v := range d {
 		if !(v > 0) { // matches Forward: non-positive AND NaN clamp to 0
 			d[i] = 0
@@ -234,14 +301,40 @@ func (r *ReLU) Backward(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, erro
 	return dx, nil
 }
 
+// BackwardBatch implements Layer: the batch gradient gates on the cached
+// batch-wide activation mask.
+func (r *ReLU) BackwardBatch(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: relu %q batched backward needs a context", r.name)
+	}
+	st, ok := ctx.states[r].(*reluState)
+	if !ok || st.bmask == nil {
+		return nil, fmt.Errorf("nn: relu %q batched backward before training-mode batched forward", r.name)
+	}
+	if grad.Len() != len(st.bmask) {
+		return nil, fmt.Errorf("nn: relu %q batch gradient length %d != cached %d",
+			r.name, grad.Len(), len(st.bmask))
+	}
+	dx := grad.Clone()
+	d := dx.Data()
+	for i, on := range st.bmask {
+		if !on {
+			d[i] = 0
+		}
+	}
+	return dx, nil
+}
+
 // Flatten reshapes a CHW tensor to a flat vector.
 type Flatten struct {
 	name string
 }
 
-// flattenState is the per-context shape cache.
+// flattenState is the per-context shape cache; dims serves per-sample
+// Backward, bdims the batched pass.
 type flattenState struct {
-	dims []int
+	dims  []int
+	bdims []int // batch input shape (training contexts only)
 }
 
 var _ Layer = (*Flatten)(nil)
@@ -266,13 +359,20 @@ func (f *Flatten) Forward(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error
 }
 
 // ForwardBatch implements Layer: an (N, C, H, W) batch reshapes to
-// (N, C·H·W), one flat row per sample (a view, no copy).
+// (N, C·H·W), one flat row per sample (a view, no copy). In training
+// contexts the input shape is cached so BackwardBatch can reverse it.
 func (f *Flatten) ForwardBatch(ctx *Context, x *tensor.Tensor) (*tensor.Tensor, error) {
 	if ctx == nil {
 		return nil, fmt.Errorf("nn: flatten %q batched forward needs a context", f.name)
 	}
 	if x.Rank() < 2 {
 		return nil, fmt.Errorf("nn: flatten %q wants a batch of rank >= 2, got %v", f.name, x.Shape())
+	}
+	st := ctx.state(f, func() any { return &flattenState{} }).(*flattenState)
+	if ctx.Training() {
+		st.bdims = x.Shape()
+	} else {
+		st.bdims = nil
 	}
 	n := x.Dim(0)
 	return x.Reshape(n, x.Len()/n)
@@ -288,6 +388,19 @@ func (f *Flatten) Backward(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, e
 		return nil, fmt.Errorf("nn: flatten %q backward before forward", f.name)
 	}
 	return grad.Reshape(st.dims...)
+}
+
+// BackwardBatch implements Layer: the batch gradient reshapes back to the
+// cached batch input shape (a view, no copy).
+func (f *Flatten) BackwardBatch(ctx *Context, grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("nn: flatten %q batched backward needs a context", f.name)
+	}
+	st, ok := ctx.states[f].(*flattenState)
+	if !ok || st.bdims == nil {
+		return nil, fmt.Errorf("nn: flatten %q batched backward before training-mode batched forward", f.name)
+	}
+	return grad.Reshape(st.bdims...)
 }
 
 // Kernel returns the pooling window side.

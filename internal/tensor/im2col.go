@@ -107,40 +107,65 @@ func Im2colBatch(dst, src []float32, n, c, h, w, k, stride, pad int) error {
 // Col2im scatters a (c·k·k) × (outH·outW) column matrix back onto the CHW
 // plane dst (c×h×w), accumulating overlapping contributions — the adjoint of
 // Im2col and the heart of the convolution backward pass. dst is accumulated
-// into, not cleared; zero it first for a plain gradient.
+// into, not cleared; zero it first for a plain gradient. It is exactly
+// Col2imBatch with a batch of one.
 func Col2im(dst, cols []float32, c, h, w, k, stride, pad int) error {
+	return Col2imBatch(dst, cols, 1, c, h, w, k, stride, pad)
+}
+
+// Col2imBatch scatters a batch-wide (c·k·k) × (n·outH·outW) column-gradient
+// matrix — the Im2colBatch layout, one GemmTA output for a whole NCHW
+// micro-batch — back onto the NCHW plane dst (n×c×h×w), accumulating
+// overlapping contributions. It is the adjoint of Im2colBatch and the
+// scatter step of the batched convolution backward pass: sample s's columns
+// occupy the contiguous column range [s·outH·outW, (s+1)·outH·outW) of every
+// row, and scatter only into sample s's CHW plane of dst. Per-element
+// accumulation order within a sample is identical to per-sample Col2im.
+// dst must hold n·c·h·w elements and is accumulated into, not cleared; zero
+// it first for a plain gradient. cols must hold c·k·k·n·outH·outW elements.
+func Col2imBatch(dst, cols []float32, n, c, h, w, k, stride, pad int) error {
 	outH := ConvOut(h, k, stride, pad)
 	outW := ConvOut(w, k, stride, pad)
 	if outH < 1 || outW < 1 {
 		return fmt.Errorf("tensor: col2im kernel %d (stride %d, pad %d) does not fit input %dx%d",
 			k, stride, pad, h, w)
 	}
-	n := outH * outW
-	if len(cols) < c*k*k*n {
-		return fmt.Errorf("tensor: col2im cols length %d < %d for (%d,%d,%d) kernel %d stride %d pad %d",
-			len(cols), c*k*k*n, c, h, w, k, stride, pad)
+	if n < 1 {
+		return fmt.Errorf("tensor: col2im batch %d must be >= 1", n)
 	}
-	if len(dst) < c*h*w {
-		return fmt.Errorf("tensor: col2im dst length %d < %d for (%d,%d,%d)", len(dst), c*h*w, c, h, w)
+	hw := outH * outW
+	rowLen := n * hw
+	if len(cols) < c*k*k*rowLen {
+		return fmt.Errorf("tensor: col2im cols length %d < %d for batch %d × (%d,%d,%d) kernel %d stride %d pad %d",
+			len(cols), c*k*k*rowLen, n, c, h, w, k, stride, pad)
 	}
-	for ch := 0; ch < c; ch++ {
-		chBase := ch * h * w
-		for ky := 0; ky < k; ky++ {
-			for kx := 0; kx < k; kx++ {
-				row := cols[((ch*k+ky)*k+kx)*n : ((ch*k+ky)*k+kx)*n+n]
-				for oy := 0; oy < outH; oy++ {
-					iy := oy*stride - pad + ky
-					if iy < 0 || iy >= h {
-						continue
-					}
-					out := dst[chBase+iy*w : chBase+(iy+1)*w]
-					in := row[oy*outW : (oy+1)*outW]
-					ix := -pad + kx
-					for ox := 0; ox < outW; ox++ {
-						if ix >= 0 && ix < w {
-							out[ix] += in[ox]
+	if len(dst) < n*c*h*w {
+		return fmt.Errorf("tensor: col2im dst length %d < %d for batch %d × (%d,%d,%d)",
+			len(dst), n*c*h*w, n, c, h, w)
+	}
+	for s := 0; s < n; s++ {
+		sample := dst[s*c*h*w:]
+		colOff := s * hw
+		for ch := 0; ch < c; ch++ {
+			chBase := ch * h * w
+			for ky := 0; ky < k; ky++ {
+				for kx := 0; kx < k; kx++ {
+					rowBase := ((ch*k+ky)*k + kx) * rowLen
+					row := cols[rowBase+colOff : rowBase+colOff+hw]
+					for oy := 0; oy < outH; oy++ {
+						iy := oy*stride - pad + ky
+						if iy < 0 || iy >= h {
+							continue
 						}
-						ix += stride
+						out := sample[chBase+iy*w : chBase+(iy+1)*w]
+						in := row[oy*outW : (oy+1)*outW]
+						ix := -pad + kx
+						for ox := 0; ox < outW; ox++ {
+							if ix >= 0 && ix < w {
+								out[ix] += in[ox]
+							}
+							ix += stride
+						}
 					}
 				}
 			}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/gtsrb"
 	"repro/internal/nn"
+	"repro/internal/tensor"
 )
 
 // Trainer drives mini-batch SGD over a dataset with optional filter-freeze
@@ -16,6 +17,15 @@ import (
 // reduced into the canonical gradients before the optimiser step, so the
 // update rule is identical to the serial path up to floating-point
 // summation order and per-worker dropout streams.
+//
+// Within each worker's shard the passes are batch-native by default: the
+// shard's samples stack into one NCHW batch that runs through
+// ForwardBatch/BackwardBatch — one GEMM per layer per direction for the
+// whole sub-batch, so conv and fc weight matrices stream once per
+// sub-batch instead of once per sample. SubBatch tunes (or disables) this;
+// shards with mixed image shapes fall back to the per-sample path
+// automatically. Worker parallelism composes with intra-GEMM parallelism
+// (tensor.SetGemmWorkers): total concurrency ≈ Workers × gemm workers.
 type Trainer struct {
 	// Net is the network to train.
 	Net *nn.Sequential
@@ -28,6 +38,14 @@ type Trainer struct {
 	// Workers is the per-batch parallelism (default 1 = serial, bit-exact
 	// reproducible; more workers trade exact reproducibility for speed).
 	Workers int
+	// SubBatch sets how many samples of a worker's shard run through one
+	// ForwardBatch/BackwardBatch pass: 0 (the default) batches the whole
+	// shard in one pass, 1 selects the legacy per-sample
+	// Forward/Backward path, and N >= 2 caps each batched pass at N
+	// samples (bounding the batch-sized activation/scratch memory).
+	// Gradients are golden-equivalent across settings (≤1e-5, scaled);
+	// only float32 summation order differs.
+	SubBatch int
 	// Freezes are the active filter-freeze policies.
 	Freezes []*FilterFreeze
 	// OnEpoch, when non-nil, is called after every epoch with the epoch
@@ -66,6 +84,9 @@ func (t *Trainer) normalize() error {
 	}
 	if t.Workers < 1 {
 		return fmt.Errorf("train: workers %d must be >= 1", t.Workers)
+	}
+	if t.SubBatch < 0 {
+		return fmt.Errorf("train: sub-batch %d must be >= 0 (0 = whole shard)", t.SubBatch)
 	}
 	return nil
 }
@@ -149,7 +170,7 @@ func (t *Trainer) Fit(ds *gtsrb.Dataset) (float64, error) {
 // Param.Grad tensors. It returns the batch's total loss.
 func (t *Trainer) runBatch(ctxs []*nn.Context, ds *gtsrb.Dataset, batch []int, epoch int) (float64, error) {
 	if len(ctxs) == 1 {
-		return t.runSamples(ctxs[0], ds, batch, epoch)
+		return t.runShard(ctxs[0], ds, batch, epoch)
 	}
 	workers := len(ctxs)
 	if workers > len(batch) {
@@ -166,7 +187,7 @@ func (t *Trainer) runBatch(ctxs []*nn.Context, ds *gtsrb.Dataset, batch []int, e
 		hi := len(batch) * (w + 1) / workers
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			losses[w], errs[w] = t.runSamples(ctxs[w], ds, batch[lo:hi], epoch)
+			losses[w], errs[w] = t.runShard(ctxs[w], ds, batch[lo:hi], epoch)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -182,6 +203,67 @@ func (t *Trainer) runBatch(ctxs []*nn.Context, ds *gtsrb.Dataset, batch []int, e
 		if err := ctxs[w].FlushGrads(); err != nil {
 			return 0, fmt.Errorf("train: epoch %d reduce: %w", epoch, err)
 		}
+	}
+	return loss, nil
+}
+
+// runShard processes one worker's shard of a mini-batch through one
+// context: per-sample when SubBatch == 1, otherwise in batched sub-batches
+// (the whole shard when SubBatch == 0). Gradients accumulate into the
+// context's target buffers; the summed loss is returned.
+func (t *Trainer) runShard(ctx *nn.Context, ds *gtsrb.Dataset, idxs []int, epoch int) (float64, error) {
+	if t.SubBatch == 1 {
+		return t.runSamples(ctx, ds, idxs, epoch)
+	}
+	size := t.SubBatch
+	if size == 0 {
+		size = len(idxs)
+	}
+	var lossSum float64
+	for start := 0; start < len(idxs); start += size {
+		end := start + size
+		if end > len(idxs) {
+			end = len(idxs)
+		}
+		loss, err := t.runBatched(ctx, ds, idxs[start:end], epoch)
+		if err != nil {
+			return 0, err
+		}
+		lossSum += loss
+	}
+	return lossSum, nil
+}
+
+// runBatched stacks one sub-batch of samples into an NCHW batch and drives
+// it through ForwardBatch, the batched softmax-cross-entropy gradient and
+// BackwardBatch — one GEMM per layer per direction for the whole sub-batch.
+// Sub-batches whose images disagree in shape cannot stack and fall back to
+// the per-sample path (identical gradients, sample at a time).
+func (t *Trainer) runBatched(ctx *nn.Context, ds *gtsrb.Dataset, idxs []int, epoch int) (float64, error) {
+	imgs := make([]*tensor.Tensor, len(idxs))
+	labels := make([]int, len(idxs))
+	for i, idx := range idxs {
+		ex := ds.Examples[idx]
+		if !ex.Image.SameShape(ds.Examples[idxs[0]].Image) {
+			return t.runSamples(ctx, ds, idxs, epoch)
+		}
+		imgs[i] = ex.Image
+		labels[i] = ex.Label
+	}
+	batch, err := tensor.Stack(imgs)
+	if err != nil {
+		return 0, fmt.Errorf("train: epoch %d stack: %w", epoch, err)
+	}
+	logits, err := t.Net.ForwardBatch(ctx, batch)
+	if err != nil {
+		return 0, fmt.Errorf("train: epoch %d batched forward: %w", epoch, err)
+	}
+	loss, grad, err := nn.CrossEntropyLossBatch(logits, labels)
+	if err != nil {
+		return 0, fmt.Errorf("train: epoch %d batched loss: %w", epoch, err)
+	}
+	if _, err := t.Net.BackwardBatch(ctx, grad); err != nil {
+		return 0, fmt.Errorf("train: epoch %d batched backward: %w", epoch, err)
 	}
 	return loss, nil
 }
